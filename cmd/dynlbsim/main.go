@@ -1,0 +1,104 @@
+// Command dynlbsim runs one simulation configuration and prints a report:
+// the workload, the chosen load-balancing strategy, response times,
+// utilizations and temporary-I/O volume.
+//
+// Examples:
+//
+//	dynlbsim -strategy OPT-IO-CPU -npe 80 -qps 0.25
+//	dynlbsim -strategy psu-noIO+LUM -npe 40 -oltp b-nodes -tps 100 -disks 5
+//	dynlbsim -strategy MIN-IO-SUOPT -npe 80 -buffer 5 -disks 1 -qps 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynlb"
+)
+
+func main() {
+	var (
+		strategy = flag.String("strategy", "OPT-IO-CPU", "load balancing strategy (see -list)")
+		npe      = flag.Int("npe", 40, "number of processing elements")
+		qps      = flag.Float64("qps", 0.25, "join arrival rate per PE (0 = single-user closed loop)")
+		sel      = flag.Float64("selectivity", 0.01, "scan selectivity of the join query")
+		buffer   = flag.Int("buffer", 50, "buffer pages per PE")
+		disks    = flag.Int("disks", 10, "disks per PE")
+		oltp     = flag.String("oltp", "none", "OLTP placement: none, a-nodes, b-nodes, all")
+		tps      = flag.Float64("tps", 100, "OLTP transactions per second per OLTP node")
+		seconds  = flag.Float64("seconds", 20, "measurement window in simulated seconds")
+		warmup   = flag.Float64("warmup", 3, "warm-up in simulated seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list built-in strategies and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("built-in strategies:")
+		for _, n := range dynlb.StrategyNames() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	cfg := dynlb.DefaultConfig()
+	cfg.NPE = *npe
+	cfg.JoinQPSPerPE = *qps
+	cfg.ScanSelectivity = *sel
+	cfg.BufferPages = *buffer
+	cfg.DisksPerPE = *disks
+	cfg.OLTP.TPSPerNode = *tps
+	cfg.MeasureTime = dynlb.Seconds(*seconds)
+	cfg.Warmup = dynlb.Seconds(*warmup)
+	cfg.Seed = *seed
+	switch strings.ToLower(*oltp) {
+	case "none":
+		cfg.OLTP.Placement = dynlb.OLTPNone
+	case "a-nodes", "a":
+		cfg.OLTP.Placement = dynlb.OLTPOnANode
+	case "b-nodes", "b":
+		cfg.OLTP.Placement = dynlb.OLTPOnBNode
+	case "all":
+		cfg.OLTP.Placement = dynlb.OLTPOnAll
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -oltp %q\n", *oltp)
+		os.Exit(2)
+	}
+
+	st, err := dynlb.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dynlb: %d PEs, strategy %s, join %.3f QPS/PE, selectivity %.2f%%, OLTP %s\n",
+		cfg.NPE, st.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
+	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
+
+	res, err := dynlb.Run(cfg, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Printf("join queries:   %d completed (%.2f/s)\n", res.JoinsDone, res.JoinTPS)
+	fmt.Printf("  response:     mean %.1f ms   p95 %.1f ms   ±%.1f ms (95%% CI)\n",
+		res.JoinRT.MeanMS, res.JoinRT.P95MS, res.JoinRT.HW95MS)
+	fmt.Printf("  avg degree:   %.1f join processors\n", res.AvgJoinDegree)
+	fmt.Printf("  mem wait:     %.1f ms average\n", res.MeanMemWaitMS)
+	if res.OLTPDone > 0 {
+		fmt.Printf("OLTP:           %d completed (%.1f/s), mean %.1f ms, p95 %.1f ms\n",
+			res.OLTPDone, res.OLTPTPS, res.OLTPRT.MeanMS, res.OLTPRT.P95MS)
+	}
+	fmt.Printf("utilization:    cpu %.0f%% (max %.0f%%)   disk %.0f%%   memory %.0f%%\n",
+		100*res.CPUUtil, 100*res.MaxCPU, 100*res.DiskUtil, 100*res.MemUtil)
+	fmt.Printf("temporary I/O:  %d pages\n", res.TempIOPages)
+	fmt.Printf("memory queue:   %d waits, %d steals (%d pages)\n",
+		res.MemWaits, res.MemSteals, res.StolenPages)
+	if res.Deadlocks > 0 {
+		fmt.Printf("deadlocks:      %d transactions aborted\n", res.Deadlocks)
+	}
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the evaluation figures of Rahm & Marek
+// (VLDB '95) with this library's simulator, printing one aligned table per
+// figure (and optionally CSV for plotting).
+//
+// Examples:
+//
+//	experiments -fig 5            # reproduce Fig. 5 at normal scale
+//	experiments -fig all -scale quick
+//	experiments -fig 9b -scale full -csv fig9b.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"dynlb"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
+		scale = flag.String("scale", "normal", "simulation scale: quick, normal, full")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csvF  = flag.String("csv", "", "also write rows to this CSV file")
+	)
+	flag.Parse()
+
+	var sc dynlb.Scale
+	switch *scale {
+	case "quick":
+		sc = dynlb.ScaleQuick
+	case "normal":
+		sc = dynlb.ScaleNormal
+	case "full":
+		sc = dynlb.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = dynlb.Figures()
+	}
+
+	var all []dynlb.Row
+	for _, f := range figs {
+		start := time.Now()
+		rows, err := dynlb.RunFigure(f, sc, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(dynlb.FormatRows(rows))
+		fmt.Printf("(figure %s: %d rows in %.1fs wall time)\n\n", f, len(rows), time.Since(start).Seconds())
+		all = append(all, rows...)
+	}
+
+	if *csvF != "" {
+		if err := writeCSV(*csvF, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(all), *csvF)
+	}
+}
+
+func writeCSV(path string, rows []dynlb.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+
+	keys := map[string]bool{}
+	for _, r := range rows {
+		for k := range r.Extra {
+			keys[k] = true
+		}
+	}
+	extras := make([]string, 0, len(keys))
+	for k := range keys {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+
+	header := append([]string{"figure", "series", "x", "xlabel", "join_rt_ms", "n", "ci95_ms"}, extras...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Series,
+			strconv.FormatFloat(r.X, 'g', -1, 64), r.XLabel,
+			strconv.FormatFloat(r.JoinRTMS, 'f', 2, 64),
+			strconv.Itoa(r.Res.JoinRT.N),
+			strconv.FormatFloat(r.Res.JoinRT.HW95MS, 'f', 2, 64),
+		}
+		for _, k := range extras {
+			v, ok := r.Extra[k]
+			if !ok {
+				rec = append(rec, "")
+				continue
+			}
+			rec = append(rec, strconv.FormatFloat(v, 'f', 3, 64))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

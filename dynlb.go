@@ -1,0 +1,129 @@
+// Package dynlb reproduces Rahm & Marek, "Dynamic Multi-Resource Load
+// Balancing in Parallel Database Systems" (VLDB 1995): a discrete-event
+// simulation of a Shared Nothing parallel database system executing
+// parallel hash joins (and optionally debit-credit OLTP transactions) under
+// the paper's family of static/dynamic, isolated/integrated load-balancing
+// strategies, which decide the degree of join parallelism and the selection
+// of join processors from the current CPU and memory situation.
+//
+// Quick start:
+//
+//	cfg := dynlb.DefaultConfig()
+//	cfg.NPE = 40
+//	cfg.JoinQPSPerPE = 0.25
+//	res, err := dynlb.Run(cfg, dynlb.MustStrategy("OPT-IO-CPU"))
+//
+// The built-in strategies carry the paper's names: the static degrees
+// psu-opt and psu-noIO, the dynamic pmu-cpu (formula 3.2), the selections
+// RANDOM / LUC / LUM, and the integrated MIN-IO, MIN-IO-SUOPT and
+// OPT-IO-CPU. Custom strategies implement the Strategy interface over the
+// control node's View.
+package dynlb
+
+import (
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+	"dynlb/internal/costmodel"
+	"dynlb/internal/engine"
+	"dynlb/internal/sim"
+)
+
+// Config is the full parameter set of a simulation run: system
+// configuration, the Fig. 4 CPU cost table, database and query profile,
+// workload rates and the control-node behaviour. Obtain defaults with
+// DefaultConfig and mutate fields.
+type Config = config.Config
+
+// OLTPPlacement selects which PEs run the OLTP workload.
+type OLTPPlacement = config.OLTPPlacement
+
+// OLTP placements for heterogeneous workloads (Section 5.3).
+const (
+	OLTPNone    = config.OLTPNone
+	OLTPOnANode = config.OLTPOnANode
+	OLTPOnBNode = config.OLTPOnBNode
+	OLTPOnAll   = config.OLTPOnAll
+)
+
+// Strategy decides the degree of join parallelism and the join processors
+// for one query (see package core for the built-ins).
+type Strategy = core.Strategy
+
+// View is the control node's per-PE CPU/memory knowledge strategies
+// consult.
+type View = core.View
+
+// QueryInfo carries the per-query planning constants (inner input size,
+// fudge factor, p_su-opt, p_su-noIO).
+type QueryInfo = core.QueryInfo
+
+// Decision is a strategy's placement output.
+type Decision = core.Decision
+
+// Results are the measured outcomes of one run.
+type Results = engine.Results
+
+// Summary condenses a response-time distribution.
+type Summary = engine.Summary
+
+// DefaultConfig returns the paper's Fig. 4 parameter settings (80 PEs,
+// 20 MIPS CPUs, 50-page buffers, 10 disks/PE, 1% scan selectivity,
+// single-user join workload, no OLTP).
+func DefaultConfig() Config { return config.Default() }
+
+// Strategy constructors re-exported from the core package.
+
+// StrategyByName builds a built-in strategy from its paper name, e.g.
+// "psu-opt+RANDOM", "pmu-cpu+LUM", "MIN-IO-SUOPT", "OPT-IO-CPU".
+func StrategyByName(name string) (Strategy, error) { return core.ByName(name) }
+
+// MustStrategy is StrategyByName panicking on unknown names.
+func MustStrategy(name string) Strategy { return core.MustByName(name) }
+
+// StrategyNames lists all built-in strategy names.
+func StrategyNames() []string { return core.Names() }
+
+// FixedDegree returns an isolated strategy with an explicit static degree
+// and the given selection policy name (RANDOM, LUC or LUM); it backs the
+// Fig. 1 response-time curves and ablations.
+func FixedDegree(p int, selection string) (Strategy, error) {
+	s, err := core.ByName("psu-opt+" + selection)
+	if err != nil {
+		return nil, err
+	}
+	iso := s.(core.Isolated)
+	iso.Deg = core.StaticDegree{P: p}
+	return iso, nil
+}
+
+// Run simulates cfg under the strategy and returns the windowed results.
+func Run(cfg Config, s Strategy) (Results, error) {
+	sys, err := engine.New(cfg, s)
+	if err != nil {
+		return Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// PsuOpt returns the single-user optimal degree of join parallelism for the
+// configuration's join query (the analytic model of Section 2).
+func PsuOpt(cfg Config) int { return costmodel.New(cfg).PsuOpt() }
+
+// PsuNoIO returns formula 3.1: the minimal degree avoiding temporary file
+// I/O in single-user mode.
+func PsuNoIO(cfg Config) int { return costmodel.New(cfg).PsuNoIO() }
+
+// ResponseTimeCurve returns the analytic single-user response time in
+// milliseconds for degrees 1..maxP (the Fig. 1a curve).
+func ResponseTimeCurve(cfg Config, maxP int) []float64 {
+	curve := costmodel.New(cfg).Curve(maxP)
+	out := make([]float64, len(curve))
+	for i, rt := range curve {
+		out[i] = rt.Milliseconds()
+	}
+	return out
+}
+
+// Seconds converts a float64 seconds value into the simulator's duration
+// type for configuring Warmup and MeasureTime.
+func Seconds(s float64) sim.Duration { return sim.FromSeconds(s) }

@@ -1,0 +1,181 @@
+package dynlb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NPE = 10
+	cfg.JoinQPSPerPE = 0.1
+	cfg.Warmup = Seconds(2)
+	cfg.MeasureTime = Seconds(6)
+	return cfg
+}
+
+func TestRunSmoke(t *testing.T) {
+	res, err := Run(quickConfig(), MustStrategy("OPT-IO-CPU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinsDone == 0 {
+		t.Fatal("no joins completed")
+	}
+	if res.Strategy != "OPT-IO-CPU" {
+		t.Errorf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := quickConfig()
+	cfg.NPE = 0
+	if _, err := Run(cfg, MustStrategy("MIN-IO")); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStrategyNamesRoundTrip(t *testing.T) {
+	names := StrategyNames()
+	if len(names) != 12 {
+		t.Fatalf("%d built-in strategies, want 12", len(names))
+	}
+	for _, n := range names {
+		s, err := StrategyByName(n)
+		if err != nil || s.Name() != n {
+			t.Errorf("StrategyByName(%q) = %v, %v", n, s, err)
+		}
+	}
+}
+
+func TestPsuValuesMatchPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := PsuNoIO(cfg); got != 3 {
+		t.Errorf("PsuNoIO = %d, want 3 (paper, 1%% selectivity)", got)
+	}
+	if got := PsuOpt(cfg); got < 15 || got > 45 {
+		t.Errorf("PsuOpt = %d, want paper region [15,45] (paper: 30)", got)
+	}
+}
+
+func TestResponseTimeCurveShape(t *testing.T) {
+	cfg := DefaultConfig()
+	curve := ResponseTimeCurve(cfg, 80)
+	if len(curve) != 80 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	opt := PsuOpt(cfg)
+	if curve[0] <= curve[opt-1] || curve[79] <= curve[opt-1] {
+		t.Errorf("curve not U-shaped around the optimum %d", opt)
+	}
+}
+
+func TestFixedDegree(t *testing.T) {
+	s, err := FixedDegree(5, "LUM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Name(), "p=5") {
+		t.Errorf("name = %q", s.Name())
+	}
+	if _, err := FixedDegree(5, "bogus"); err == nil {
+		t.Error("bogus selection accepted")
+	}
+}
+
+// TestCustomStrategy verifies the extension point: a user-defined strategy
+// drives the full simulation.
+type leastBusy struct{}
+
+func (leastBusy) Name() string { return "custom-least-busy" }
+func (leastBusy) Decide(q QueryInfo, v *View, rng *rand.Rand) Decision {
+	k := q.PsuNoIO + 1
+	if k > v.N() {
+		k = v.N()
+	}
+	pes := v.ByCPU()[:k]
+	return Decision{JoinPEs: append([]int(nil), pes...), MemPerPE: (q.HashPages() + k - 1) / k}
+}
+
+func TestCustomStrategy(t *testing.T) {
+	res, err := Run(quickConfig(), leastBusy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinsDone == 0 {
+		t.Fatal("custom strategy completed no joins")
+	}
+	if res.Strategy != "custom-least-busy" {
+		t.Errorf("strategy = %q", res.Strategy)
+	}
+}
+
+func TestFiguresListAndDocs(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 9 {
+		t.Fatalf("%d figures, want 9", len(figs))
+	}
+	for _, f := range figs {
+		if FigureDoc(f) == "" {
+			t.Errorf("figure %s has no doc", f)
+		}
+	}
+	if _, err := RunFigure("nope", ScaleQuick, 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFigure1aQuick(t *testing.T) {
+	rows, err := RunFigure("1a", ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analytic, simulated int
+	for _, r := range rows {
+		switch r.Series {
+		case "analytic":
+			analytic++
+		case "simulated":
+			simulated++
+		}
+		if r.JoinRTMS <= 0 {
+			t.Errorf("non-positive RT in row %+v", r)
+		}
+	}
+	if analytic != 40 || simulated != len([]int{1, 2, 4, 8, 12, 16, 20, 24, 32, 40}) {
+		t.Errorf("analytic=%d simulated=%d", analytic, simulated)
+	}
+	txt := FormatRows(rows)
+	if !strings.Contains(txt, "Figure 1a") {
+		t.Errorf("FormatRows header missing: %s", txt[:60])
+	}
+}
+
+func TestFormatRowsEmpty(t *testing.T) {
+	if got := FormatRows(nil); got != "(no rows)\n" {
+		t.Errorf("FormatRows(nil) = %q", got)
+	}
+}
+
+func TestRunFigureDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	a, err := RunFigure("1a", ScaleQuick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure("1a", ScaleQuick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].JoinRTMS != b[i].JoinRTMS || a[i].Series != b[i].Series || a[i].X != b[i].X {
+			t.Fatalf("row %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Homogeneous workload comparison (the Fig. 5/6 scenario): concurrent join
+// queries only, 0.25 queries per second per PE. Static strategies fix the
+// degree of join parallelism at compile time; dynamic ones adapt it to the
+// current CPU and memory situation. On larger systems the dynamic
+// strategies keep response times flat where static psu-opt placement
+// saturates the CPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynlb"
+)
+
+func main() {
+	strategies := []string{
+		"psu-opt+RANDOM", // static degree, random placement: the baseline
+		"psu-noIO+LUM",   // minimal no-overflow degree on the emptiest nodes
+		"pmu-cpu+LUM",    // degree reduced with CPU load (formula 3.2)
+		"OPT-IO-CPU",     // integrated: memory-driven degree under a CPU cap
+	}
+
+	for _, n := range []int{20, 60} {
+		fmt.Printf("system size %d PEs, 0.25 join QPS/PE:\n", n)
+		for _, name := range strategies {
+			cfg := dynlb.DefaultConfig()
+			cfg.NPE = n
+			cfg.JoinQPSPerPE = 0.25
+			cfg.MeasureTime = dynlb.Seconds(12)
+			res, err := dynlb.Run(cfg, dynlb.MustStrategy(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-16s rt=%7.0f ms   degree=%5.1f   cpu=%3.0f%%   tempIO=%6d pages\n",
+				name, res.JoinRT.MeanMS, res.AvgJoinDegree, 100*res.CPUUtil, res.TempIOPages)
+		}
+		fmt.Println()
+	}
+}

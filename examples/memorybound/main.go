@@ -1,0 +1,50 @@
+// Memory-bound environment — the Fig. 7 scenario: buffers shrunk to one
+// tenth (5 pages per PE) and a single disk per PE for temporary files. Hash
+// tables no longer fit single nodes, so the degree of join parallelism must
+// *grow* to spread the memory requirement — the opposite of the CPU-bound
+// reflex of reducing parallelism. MIN-IO-SUOPT raises its degree with the
+// memory situation; pmu-cpu stays at the CPU-derived optimum and spills.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynlb"
+)
+
+func main() {
+	mk := func(n int, qps float64) dynlb.Config {
+		cfg := dynlb.DefaultConfig()
+		cfg.NPE = n
+		cfg.BufferPages = 5 // memory reduced by a factor of 10
+		cfg.DisksPerPE = 1  // one disk per PE for temporary files
+		cfg.JoinQPSPerPE = qps
+		cfg.MeasureTime = dynlb.Seconds(20)
+		return cfg
+	}
+
+	fmt.Println("memory-bound: 5-page buffers, 1 temp disk/PE")
+	cfg := mk(40, 0)
+	fmt.Printf("psu-opt=%d (memory-blind), psu-noIO=%d (needs %d nodes to hold the hash table)\n\n",
+		dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg), dynlb.PsuNoIO(cfg))
+
+	for _, n := range []int{40, 80} {
+		for _, qps := range []float64{0.025, 0} {
+			mode := fmt.Sprintf("%.3f QPS/PE", qps)
+			if qps == 0 {
+				mode = "single-user"
+			}
+			for _, name := range []string{"pmu-cpu+LUM", "MIN-IO-SUOPT"} {
+				res, err := dynlb.Run(mk(n, qps), dynlb.MustStrategy(name))
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("n=%-3d %-14s %-14s rt=%7.0f ms  degree=%5.1f  tempIO=%6d  disk=%3.0f%%\n",
+					n, mode, name, res.JoinRT.MeanMS, res.AvgJoinDegree,
+					res.TempIOPages, 100*res.DiskUtil)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: simulate a 40-node Shared Nothing system executing parallel
+// hash-join queries in multi-user mode under the paper's integrated
+// OPT-IO-CPU load-balancing strategy, and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynlb"
+)
+
+func main() {
+	cfg := dynlb.DefaultConfig()
+	cfg.NPE = 40               // processing elements
+	cfg.JoinQPSPerPE = 0.25    // multi-user join arrivals (paper Fig. 5/6 rate)
+	cfg.ScanSelectivity = 0.01 // 1% selections on both join inputs
+	cfg.MeasureTime = dynlb.Seconds(15)
+
+	// The planning constants the strategies use (Section 2):
+	fmt.Printf("single-user optimum psu-opt = %d join processors\n", dynlb.PsuOpt(cfg))
+	fmt.Printf("no-overflow minimum psu-noIO = %d join processors\n", dynlb.PsuNoIO(cfg))
+
+	strategy := dynlb.MustStrategy("OPT-IO-CPU")
+	res, err := dynlb.Run(cfg, strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s on %d PEs:\n", strategy.Name(), cfg.NPE)
+	fmt.Printf("  %d joins completed, mean response time %.0f ms (p95 %.0f ms)\n",
+		res.JoinsDone, res.JoinRT.MeanMS, res.JoinRT.P95MS)
+	fmt.Printf("  average degree of join parallelism: %.1f\n", res.AvgJoinDegree)
+	fmt.Printf("  CPU %.0f%%, disk %.0f%%, memory %.0f%% utilized\n",
+		100*res.CPUUtil, 100*res.DiskUtil, 100*res.MemUtil)
+	fmt.Printf("  temporary file I/O: %d pages\n", res.TempIOPages)
+}

@@ -1,0 +1,428 @@
+package dynlb
+
+import (
+	"fmt"
+	"sort"
+
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+	"dynlb/internal/engine"
+	"dynlb/internal/sim"
+)
+
+// Scale selects the simulation window of the experiment harness: Quick for
+// smoke runs and benchmarks, Normal for day-to-day reproduction, Full for
+// the numbers recorded in EXPERIMENTS.md (tighter confidence intervals).
+type Scale int
+
+// Scales.
+const (
+	ScaleQuick Scale = iota
+	ScaleNormal
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleQuick:
+		return "quick"
+	case ScaleNormal:
+		return "normal"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// windows returns warm-up and measurement durations.
+func (s Scale) windows() (warmup, measure sim.Duration) {
+	switch s {
+	case ScaleQuick:
+		return 2 * sim.Second, 8 * sim.Second
+	case ScaleFull:
+		return 5 * sim.Second, 45 * sim.Second
+	default:
+		return 3 * sim.Second, 20 * sim.Second
+	}
+}
+
+// Row is one point of a reproduced figure: one (series, x) coordinate with
+// the measured response time and the full run results.
+type Row struct {
+	Figure string
+	Series string  // curve label: strategy name or mode
+	X      float64 // x coordinate (system size, degree, selectivity %)
+	XLabel string  // "#PE", "degree", "selectivity%"
+
+	JoinRTMS float64
+	Extra    map[string]float64 // figure-specific values (improvement %, degree, ...)
+	Res      Results
+}
+
+// Figures lists the reproducible figure identifiers of the paper's
+// evaluation, in paper order.
+func Figures() []string {
+	return []string{"1a", "1b", "1c", "5", "6", "7", "8", "9a", "9b"}
+}
+
+// FigureDoc returns a one-line description of a figure experiment.
+func FigureDoc(fig string) string {
+	docs := map[string]string{
+		"1a": "single-user response time vs degree of join parallelism (analytic + simulated)",
+		"1b": "response time vs degree under CPU contention (multi-user)",
+		"1c": "response time vs degree under memory/disk bottleneck",
+		"5":  "static degrees psu-noIO/psu-opt x RANDOM/LUC/LUM vs system size (homogeneous, 0.25 QPS/PE)",
+		"6":  "dynamic strategies MIN-IO/MIN-IO-SUOPT/pmu-cpu/OPT-IO-CPU vs system size (homogeneous)",
+		"7":  "memory-bound environment (mem/10, 1 disk/PE): MIN-IO-SUOPT vs pmu-cpu+LUM",
+		"8":  "relative improvement over psu-opt+RANDOM vs join complexity (selectivity, 60 PE)",
+		"9a": "heterogeneous workload, OLTP on the A nodes (20%): static vs dynamic strategies",
+		"9b": "heterogeneous workload, OLTP on the B nodes (80%): static vs dynamic strategies",
+	}
+	return docs[fig]
+}
+
+// RunFigure regenerates one of the paper's figures at the given scale and
+// seed, returning the measured rows in deterministic order.
+func RunFigure(fig string, scale Scale, seed int64) ([]Row, error) {
+	switch fig {
+	case "1a":
+		return fig1a(scale, seed)
+	case "1b":
+		return fig1bc(scale, seed, false)
+	case "1c":
+		return fig1bc(scale, seed, true)
+	case "5":
+		return fig5(scale, seed)
+	case "6":
+		return fig6(scale, seed)
+	case "7":
+		return fig7(scale, seed)
+	case "8":
+		return fig8(scale, seed)
+	case "9a":
+		return fig9(scale, seed, config.OLTPOnANode, "9a")
+	case "9b":
+		return fig9(scale, seed, config.OLTPOnBNode, "9b")
+	default:
+		return nil, fmt.Errorf("dynlb: unknown figure %q (known: %v)", fig, Figures())
+	}
+}
+
+func baseCfg(scale Scale, seed int64) Config {
+	cfg := config.Default()
+	cfg.Seed = seed
+	cfg.Warmup, cfg.MeasureTime = scale.windows()
+	return cfg
+}
+
+func runOne(cfg Config, name string) (Results, error) {
+	s, err := core.ByName(name)
+	if err != nil {
+		return Results{}, err
+	}
+	sys, err := engine.New(cfg, s)
+	if err != nil {
+		return Results{}, err
+	}
+	return sys.Run(), nil
+}
+
+// fig1Degrees are the degree sweep points of the Fig. 1 curves.
+var fig1Degrees = []int{1, 2, 4, 8, 12, 16, 20, 24, 32, 40}
+
+// fig1a: the single-user response-time curve — analytic model plus
+// simulated single-user points at fixed degrees with RANDOM selection.
+func fig1a(scale Scale, seed int64) ([]Row, error) {
+	cfg := baseCfg(scale, seed)
+	cfg.NPE = 40
+	curve := ResponseTimeCurve(cfg, cfg.NPE)
+	var rows []Row
+	for p := 1; p <= cfg.NPE; p++ {
+		rows = append(rows, Row{
+			Figure: "1a", Series: "analytic", X: float64(p), XLabel: "degree",
+			JoinRTMS: curve[p-1],
+		})
+	}
+	for _, p := range fig1Degrees {
+		c := cfg
+		c.JoinQPSPerPE = 0 // single-user closed loop
+		st, err := FixedDegree(p, "RANDOM")
+		if err != nil {
+			return nil, err
+		}
+		sys, err := engine.New(c, st)
+		if err != nil {
+			return nil, err
+		}
+		res := sys.Run()
+		rows = append(rows, Row{
+			Figure: "1a", Series: "simulated", X: float64(p), XLabel: "degree",
+			JoinRTMS: res.JoinRT.MeanMS, Res: res,
+		})
+	}
+	return rows, nil
+}
+
+// fig1bc: response time vs degree in multi-user mode — under CPU contention
+// (1b) the optimum shifts below the single-user optimum; under a
+// memory/disk bottleneck (1c) it shifts above.
+func fig1bc(scale Scale, seed int64, memBound bool) ([]Row, error) {
+	figure := "1b"
+	var rows []Row
+	for _, p := range fig1Degrees {
+		cfg := baseCfg(scale, seed)
+		cfg.NPE = 40
+		if memBound {
+			figure = "1c"
+			cfg.BufferPages = 5
+			cfg.DisksPerPE = 1
+			cfg.JoinQPSPerPE = 0.05
+		} else {
+			cfg.JoinQPSPerPE = 0.3 // drives high CPU utilization
+		}
+		st, err := FixedDegree(p, "RANDOM")
+		if err != nil {
+			return nil, err
+		}
+		sys, err := engine.New(cfg, st)
+		if err != nil {
+			return nil, err
+		}
+		res := sys.Run()
+		rows = append(rows, Row{
+			Figure: figure, Series: "multi-user", X: float64(p), XLabel: "degree",
+			JoinRTMS: res.JoinRT.MeanMS,
+			Extra:    map[string]float64{"cpu%": 100 * res.CPUUtil, "tempIO": float64(res.TempIOPages)},
+			Res:      res,
+		})
+	}
+	return rows, nil
+}
+
+// figSizes are the system sizes of the Fig. 5/6/9 sweeps.
+var figSizes = []int{10, 20, 40, 60, 80}
+
+func fig5(scale Scale, seed int64) ([]Row, error) {
+	strategies := []string{
+		"psu-noIO+RANDOM", "psu-noIO+LUC", "psu-noIO+LUM",
+		"psu-opt+RANDOM", "psu-opt+LUC", "psu-opt+LUM",
+	}
+	var rows []Row
+	for _, n := range figSizes {
+		for _, name := range strategies {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = n
+			cfg.JoinQPSPerPE = 0.25
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, sizeRow("5", name, n, res))
+		}
+		// Single-user reference with psu-opt processors.
+		cfg := baseCfg(scale, seed)
+		cfg.NPE = n
+		cfg.JoinQPSPerPE = 0
+		res, err := runOne(cfg, "psu-opt+RANDOM")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sizeRow("5", "single-user (psu-opt)", n, res))
+	}
+	return rows, nil
+}
+
+func fig6(scale Scale, seed int64) ([]Row, error) {
+	strategies := []string{
+		"MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+RANDOM", "pmu-cpu+LUM", "OPT-IO-CPU",
+	}
+	var rows []Row
+	for _, n := range figSizes {
+		for _, name := range strategies {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = n
+			cfg.JoinQPSPerPE = 0.25
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, sizeRow("6", name, n, res))
+		}
+		cfg := baseCfg(scale, seed)
+		cfg.NPE = n
+		cfg.JoinQPSPerPE = 0
+		res, err := runOne(cfg, "psu-opt+RANDOM")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, sizeRow("6", "single-user (psu-opt)", n, res))
+	}
+	return rows, nil
+}
+
+// fig7 uses the memory-bound environment: one tenth of the memory, one disk
+// per PE, lower arrival rates; it reports the achieved degrees alongside
+// the response times (the paper annotates them on the bars).
+func fig7(scale Scale, seed int64) ([]Row, error) {
+	sizes := []int{20, 30, 40, 60, 80}
+	mk := func(n int, qps float64) Config {
+		cfg := baseCfg(scale, seed)
+		cfg.NPE = n
+		cfg.BufferPages = 5
+		cfg.DisksPerPE = 1
+		cfg.JoinQPSPerPE = qps
+		return cfg
+	}
+	var rows []Row
+	for _, n := range sizes {
+		for _, series := range []struct {
+			qps   float64
+			label string
+		}{
+			{0.05, "multi-user 0.05 QPS/PE"},
+			{0.025, "multi-user 0.025 QPS/PE"},
+			{0, "single-user"},
+		} {
+			for _, name := range []string{"pmu-cpu+LUM", "MIN-IO-SUOPT"} {
+				res, err := runOne(mk(n, series.qps), name)
+				if err != nil {
+					return nil, err
+				}
+				r := sizeRow("7", name+" / "+series.label, n, res)
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// fig8Rates are the per-selectivity arrival rates (QPS/PE at 60 PE) chosen,
+// like the paper's, so that at least one resource is highly utilized.
+var fig8Rates = map[float64]float64{
+	0.001: 0.90,
+	0.01:  0.30,
+	0.02:  0.16,
+	0.05:  0.065,
+}
+
+func fig8(scale Scale, seed int64) ([]Row, error) {
+	selectivities := []float64{0.001, 0.01, 0.02, 0.05}
+	strategies := []string{
+		"psu-noIO+LUM", "MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+LUM", "OPT-IO-CPU",
+	}
+	var rows []Row
+	for _, sel := range selectivities {
+		mk := func() Config {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = 60
+			cfg.ScanSelectivity = sel
+			cfg.JoinQPSPerPE = fig8Rates[sel]
+			return cfg
+		}
+		base, err := runOne(mk(), "psu-opt+RANDOM")
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range strategies {
+			res, err := runOne(mk(), name)
+			if err != nil {
+				return nil, err
+			}
+			improvement := 0.0
+			if base.JoinRT.MeanMS > 0 {
+				improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
+			}
+			rows = append(rows, Row{
+				Figure: "8", Series: name, X: sel * 100, XLabel: "selectivity%",
+				JoinRTMS: res.JoinRT.MeanMS,
+				Extra: map[string]float64{
+					"improvement%": improvement,
+					"baselineMS":   base.JoinRT.MeanMS,
+					"degree":       res.AvgJoinDegree,
+				},
+				Res: res,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string) ([]Row, error) {
+	strategies := []string{
+		"psu-opt+RANDOM", "psu-noIO+RANDOM", "psu-noIO+LUM", "pmu-cpu+LUM", "OPT-IO-CPU",
+	}
+	var rows []Row
+	for _, n := range figSizes {
+		for _, name := range strategies {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = n
+			cfg.DisksPerPE = 5
+			cfg.JoinQPSPerPE = 0.075
+			cfg.OLTP.Placement = placement
+			cfg.OLTP.TPSPerNode = 100
+			res, err := runOne(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			r := sizeRow(figure, name, n, res)
+			r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+func sizeRow(fig, series string, n int, res Results) Row {
+	return Row{
+		Figure: fig, Series: series, X: float64(n), XLabel: "#PE",
+		JoinRTMS: res.JoinRT.MeanMS,
+		Extra: map[string]float64{
+			"degree": res.AvgJoinDegree,
+			"cpu%":   100 * res.CPUUtil,
+			"disk%":  100 * res.DiskUtil,
+			"mem%":   100 * res.MemUtil,
+			"tempIO": float64(res.TempIOPages),
+		},
+		Res: res,
+	}
+}
+
+// FormatRows renders rows as an aligned text table grouped by x value.
+func FormatRows(rows []Row) string {
+	if len(rows) == 0 {
+		return "(no rows)\n"
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, r := range rows {
+		if !seen[r.X] {
+			seen[r.X] = true
+			xs = append(xs, r.X)
+		}
+	}
+	sort.Float64s(xs)
+	out := fmt.Sprintf("Figure %s: %s\n", rows[0].Figure, FigureDoc(rows[0].Figure))
+	for _, x := range xs {
+		out += fmt.Sprintf("%s = %g\n", rows[0].XLabel, x)
+		for _, r := range rows {
+			if r.X != x {
+				continue
+			}
+			line := fmt.Sprintf("  %-38s rt=%9.1fms", r.Series, r.JoinRTMS)
+			keys := make([]string, 0, len(r.Extra))
+			for k := range r.Extra {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf("  %s=%.1f", k, r.Extra[k])
+			}
+			if r.Res.JoinRT.N > 0 {
+				line += fmt.Sprintf("  (n=%d ±%.0f)", r.Res.JoinRT.N, r.Res.JoinRT.HW95MS)
+			}
+			out += line + "\n"
+		}
+	}
+	return out
+}

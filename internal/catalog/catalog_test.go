@@ -1,0 +1,206 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func relA() *Relation {
+	return &Relation{
+		Name: "A", Tuples: 250_000, Blocking: 20,
+		Index: ClusteredBTree, HomePEs: []int{0, 1, 2, 3}, Fanout: 200,
+	}
+}
+
+func TestRelationPagesPaperGeometry(t *testing.T) {
+	a := relA()
+	if got := a.Pages(); got != 12_500 {
+		t.Errorf("A pages = %d, want 12500 (250k tuples / 20 per page)", got)
+	}
+	b := &Relation{Name: "B", Tuples: 1_000_000, Blocking: 20, Index: ClusteredBTree, HomePEs: []int{4}, Fanout: 200}
+	if got := b.Pages(); got != 50_000 {
+		t.Errorf("B pages = %d, want 50000", got)
+	}
+}
+
+func TestPagesForRounding(t *testing.T) {
+	a := relA()
+	cases := []struct {
+		tuples int64
+		want   int64
+	}{{0, 0}, {1, 1}, {20, 1}, {21, 2}, {2500, 125}}
+	for _, c := range cases {
+		if got := a.PagesFor(c.tuples); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.tuples, got, c.want)
+		}
+	}
+}
+
+func TestFragmentTuplesSumToTotal(t *testing.T) {
+	r := &Relation{Name: "R", Tuples: 10, Blocking: 3, HomePEs: []int{0, 1, 2}}
+	var sum int64
+	for i := range r.HomePEs {
+		sum += r.FragmentTuples(i)
+	}
+	if sum != r.Tuples {
+		t.Errorf("fragments sum to %d, want %d", sum, r.Tuples)
+	}
+	// 10 over 3 -> 4,3,3
+	if r.FragmentTuples(0) != 4 || r.FragmentTuples(1) != 3 || r.FragmentTuples(2) != 3 {
+		t.Errorf("fragments = %d,%d,%d", r.FragmentTuples(0), r.FragmentTuples(1), r.FragmentTuples(2))
+	}
+}
+
+func TestHomeIndex(t *testing.T) {
+	r := relA()
+	if r.HomeIndex(2) != 2 {
+		t.Errorf("HomeIndex(2) = %d", r.HomeIndex(2))
+	}
+	if r.HomeIndex(99) != -1 {
+		t.Errorf("HomeIndex(99) = %d, want -1", r.HomeIndex(99))
+	}
+}
+
+func TestIndexHeight(t *testing.T) {
+	r := relA() // 4 fragments of 62500 tuples = 3125 pages; fanout 200
+	// clustered: leaves=3125 -> 16 -> 1: height 3
+	if h := r.IndexHeight(0); h != 3 {
+		t.Errorf("clustered height = %d, want 3", h)
+	}
+	r.Index = UnclusteredBTree
+	// RID leaves = ceil(62500/200)=313 -> 2 -> 1: height 3
+	if h := r.IndexHeight(0); h != 3 {
+		t.Errorf("unclustered height = %d, want 3", h)
+	}
+	r.Index = NoIndex
+	if h := r.IndexHeight(0); h != 0 {
+		t.Errorf("no-index height = %d, want 0", h)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Relation{
+		{Name: "", Tuples: 1, Blocking: 1, HomePEs: []int{0}},
+		{Name: "x", Tuples: 0, Blocking: 1, HomePEs: []int{0}},
+		{Name: "x", Tuples: 1, Blocking: 0, HomePEs: []int{0}},
+		{Name: "x", Tuples: 1, Blocking: 1, HomePEs: nil},
+		{Name: "x", Tuples: 1, Blocking: 1, HomePEs: []int{0, 0}},
+		{Name: "x", Tuples: 1, Blocking: 1, HomePEs: []int{-1}},
+		{Name: "x", Tuples: 1, Blocking: 1, HomePEs: []int{0}, Index: ClusteredBTree, Fanout: 1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid relation %+v", i, r)
+		}
+	}
+	if err := relA().Validate(); err != nil {
+		t.Errorf("valid relation rejected: %v", err)
+	}
+}
+
+func TestDatabaseAddGet(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Add(relA()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(relA()); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if db.Get("A") == nil {
+		t.Error("Get(A) = nil")
+	}
+	if db.Get("nope") != nil {
+		t.Error("Get(nope) != nil")
+	}
+	if len(db.Relations()) != 1 {
+		t.Errorf("Relations() len = %d", len(db.Relations()))
+	}
+}
+
+func TestSelectivityTuples(t *testing.T) {
+	cases := []struct {
+		n    int64
+		sel  float64
+		want int64
+	}{
+		{250_000, 0.01, 2500},
+		{1_000_000, 0.01, 10_000},
+		{250_000, 0.001, 250},
+		{250_000, 0.05, 12_500},
+		{100, 0, 0},
+		{100, 1, 100},
+		{100, 0.00001, 1}, // clamps to at least one tuple
+	}
+	for _, c := range cases {
+		if got := SelectivityTuples(c.n, c.sel); got != c.want {
+			t.Errorf("SelectivityTuples(%d, %v) = %d, want %d", c.n, c.sel, got, c.want)
+		}
+	}
+}
+
+func TestRangeShares(t *testing.T) {
+	var sum int64
+	for i := 0; i < 7; i++ {
+		sum += Range(100, 7, i)
+	}
+	if sum != 100 {
+		t.Errorf("Range shares sum to %d, want 100", sum)
+	}
+	if Range(100, 7, 0) != 15 || Range(100, 7, 6) != 14 {
+		t.Errorf("Range uneven split wrong: first=%d last=%d", Range(100, 7, 0), Range(100, 7, 6))
+	}
+}
+
+// Property: fragment tuple counts always sum to the relation total and
+// differ by at most 1 (uniform declustering).
+func TestQuickFragmentUniformity(t *testing.T) {
+	f := func(tuples uint32, parts uint8) bool {
+		n := int(parts)%64 + 1
+		tot := int64(tuples)%1_000_000 + 1
+		pes := make([]int, n)
+		for i := range pes {
+			pes[i] = i
+		}
+		r := &Relation{Name: "q", Tuples: tot, Blocking: 20, HomePEs: pes}
+		var sum, min, max int64
+		min = 1 << 62
+		for i := 0; i < n; i++ {
+			ft := r.FragmentTuples(i)
+			sum += ft
+			if ft < min {
+				min = ft
+			}
+			if ft > max {
+				max = ft
+			}
+		}
+		return sum == tot && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Range shares sum to total and are within 1 of each other.
+func TestQuickRangeShares(t *testing.T) {
+	f := func(total uint32, parts uint8) bool {
+		p := int(parts)%32 + 1
+		tot := int64(total) % 100_000
+		var sum, min, max int64
+		min = 1 << 62
+		for i := 0; i < p; i++ {
+			s := Range(tot, p, i)
+			sum += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return sum == tot && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ControlNode keeps the designated node's view of the system. PEs
+// periodically report their CPU utilization and the memory demand of
+// higher-priority work (pinned pages, OLTP workspaces); the engine carries
+// the messages. Join working-space memory is not taken from the reports:
+// the control node placed every join itself, so it keeps a reservation
+// ledger (outstanding pages per PE, from placement until the query's
+// completion notice). This is the paper's "adaptive variation" — the
+// control node's information is adjusted for newly selected processors so
+// consecutive queries between reports do not herd — made persistent and
+// exact for memory. For CPU the classic transient bump applies (LUC).
+type ControlNode struct {
+	view         *View
+	reportedFree []int // non-query available memory, from PE reports
+	outstanding  []int // pages reserved by in-flight joins, per PE
+	smoothing    float64
+	adaptive     bool
+	reports      int64
+	decisions    int64
+}
+
+// NewControlNode creates a control node for n PEs with the given CPU
+// report smoothing factor (0 < smoothing <= 1; 1 means replace) and
+// the adaptive information adjustment enabled or not.
+func NewControlNode(n int, smoothing float64, adaptive bool) *ControlNode {
+	if smoothing <= 0 || smoothing > 1 {
+		panic(fmt.Sprintf("core: smoothing %v outside (0,1]", smoothing))
+	}
+	return &ControlNode{
+		view: &View{
+			CPU:     make([]float64, n),
+			FreeMem: make([]int, n),
+		},
+		reportedFree: make([]int, n),
+		outstanding:  make([]int, n),
+		smoothing:    smoothing,
+		adaptive:     adaptive,
+	}
+}
+
+// Report integrates a PE's periodic utilization report. CPU utilization is
+// smoothed; freeMem is the PE's memory not taken by higher-priority work
+// (the join reservations are tracked by the ledger instead).
+func (c *ControlNode) Report(pe int, cpuUtil float64, freeMem int) {
+	c.reports++
+	c.view.CPU[pe] = (1-c.smoothing)*c.view.CPU[pe] + c.smoothing*cpuUtil
+	c.reportedFree[pe] = freeMem
+	c.refresh(pe)
+}
+
+func (c *ControlNode) refresh(pe int) {
+	f := c.reportedFree[pe]
+	if c.adaptive {
+		f -= c.outstanding[pe]
+	}
+	if f < 0 {
+		f = 0
+	}
+	c.view.FreeMem[pe] = f
+}
+
+// Reports returns the number of reports received.
+func (c *ControlNode) Reports() int64 { return c.reports }
+
+// Decisions returns the number of Decide calls served.
+func (c *ControlNode) Decisions() int64 { return c.decisions }
+
+// View returns the current view (live; callers must not mutate).
+func (c *ControlNode) View() *View { return c.view }
+
+// Outstanding returns the ledgered join reservation of a PE.
+func (c *ControlNode) Outstanding(pe int) int { return c.outstanding[pe] }
+
+// Decide runs the strategy against the current view and, when adaptive,
+// books the placement in the reservation ledger. The caller must pair it
+// with Release when the query completes.
+func (c *ControlNode) Decide(s Strategy, q QueryInfo, rng *rand.Rand) Decision {
+	c.decisions++
+	v := c.view
+	if !c.adaptive {
+		v = c.view.Clone()
+	}
+	d := s.Decide(q, v, rng)
+	if len(d.JoinPEs) == 0 {
+		panic(fmt.Sprintf("core: strategy %s returned empty selection", s.Name()))
+	}
+	if c.adaptive {
+		for _, pe := range d.JoinPEs {
+			c.outstanding[pe] += d.MemPerPE
+			c.refresh(pe)
+		}
+	}
+	return d
+}
+
+// Release returns a completed query's reservation to the ledger.
+func (c *ControlNode) Release(d Decision) {
+	if !c.adaptive {
+		return
+	}
+	for _, pe := range d.JoinPEs {
+		c.outstanding[pe] -= d.MemPerPE
+		if c.outstanding[pe] < 0 {
+			c.outstanding[pe] = 0
+		}
+		c.refresh(pe)
+	}
+}
+
+// ByName constructs the strategies evaluated in the paper by their
+// figure-label names. Recognized names:
+//
+//	psu-opt+RANDOM   psu-opt+LUC   psu-opt+LUM
+//	psu-noIO+RANDOM  psu-noIO+LUC  psu-noIO+LUM
+//	pmu-cpu+RANDOM   pmu-cpu+LUC   pmu-cpu+LUM
+//	MIN-IO           MIN-IO-SUOPT  OPT-IO-CPU
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "MIN-IO":
+		return MinIO{}, nil
+	case "MIN-IO-SUOPT":
+		return MinIOSuOpt{}, nil
+	case "OPT-IO-CPU":
+		return OptIOCPU{}, nil
+	}
+	parts := strings.SplitN(name, "+", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("core: unknown strategy %q", name)
+	}
+	var deg DegreePolicy
+	switch parts[0] {
+	case "psu-opt":
+		deg = StaticSuOpt{}
+	case "psu-noIO":
+		deg = StaticNoIO{}
+	case "pmu-cpu":
+		deg = DynamicCPU{}
+	default:
+		return nil, fmt.Errorf("core: unknown degree policy %q", parts[0])
+	}
+	var sel SelectionPolicy
+	switch parts[1] {
+	case "RANDOM":
+		sel = RandomSelect{}
+	case "LUC":
+		sel = LUC{}
+	case "LUM":
+		sel = LUM{}
+	default:
+		return nil, fmt.Errorf("core: unknown selection policy %q", parts[1])
+	}
+	return Isolated{Deg: deg, Sel: sel}, nil
+}
+
+// MustByName is ByName panicking on unknown names (static tables).
+func MustByName(name string) Strategy {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all built-in strategy names, sorted.
+func Names() []string {
+	names := []string{"MIN-IO", "MIN-IO-SUOPT", "OPT-IO-CPU"}
+	for _, d := range []string{"psu-opt", "psu-noIO", "pmu-cpu"} {
+		for _, s := range []string{"RANDOM", "LUC", "LUM"} {
+			names = append(names, d+"+"+s)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testView(cpu []float64, free []int) *View {
+	return &View{CPU: cpu, FreeMem: free}
+}
+
+func q(innerPages int64, psuOpt, psuNoIO int) QueryInfo {
+	return QueryInfo{InnerPages: innerPages, Fudge: 1.05, PsuOpt: psuOpt, PsuNoIO: psuNoIO}
+}
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestViewAvgCPU(t *testing.T) {
+	v := testView([]float64{0.2, 0.4, 0.6}, []int{0, 0, 0})
+	if got := v.AvgCPU(); got < 0.399 || got > 0.401 {
+		t.Errorf("AvgCPU=%v, want 0.4", got)
+	}
+}
+
+func TestViewOrderings(t *testing.T) {
+	v := testView([]float64{0.5, 0.1, 0.9, 0.1}, []int{10, 40, 40, 5})
+	byCPU := v.ByCPU()
+	if byCPU[0] != 1 || byCPU[1] != 3 { // ties by id
+		t.Errorf("ByCPU = %v", byCPU)
+	}
+	byMem := v.ByFreeMem()
+	if byMem[0] != 1 || byMem[1] != 2 || byMem[3] != 3 {
+		t.Errorf("ByFreeMem = %v", byMem)
+	}
+}
+
+func TestHashPages(t *testing.T) {
+	// 125 pages * 1.05 = 131.25 -> 132
+	if got := q(125, 30, 3).HashPages(); got != 132 {
+		t.Errorf("HashPages=%d, want 132", got)
+	}
+	if got := q(0, 1, 1).HashPages(); got != 1 {
+		t.Errorf("HashPages(0)=%d, want at least 1", got)
+	}
+}
+
+func TestStaticDegreesUseQueryInfo(t *testing.T) {
+	v := testView(make([]float64, 40), make([]int, 40))
+	if got := (StaticSuOpt{}).Degree(q(125, 30, 3), v); got != 30 {
+		t.Errorf("StaticSuOpt=%d", got)
+	}
+	if got := (StaticNoIO{}).Degree(q(125, 30, 3), v); got != 3 {
+		t.Errorf("StaticNoIO=%d", got)
+	}
+	// clamped by system size
+	small := testView(make([]float64, 10), make([]int, 10))
+	if got := (StaticSuOpt{}).Degree(q(125, 30, 3), small); got != 10 {
+		t.Errorf("StaticSuOpt clamp=%d", got)
+	}
+}
+
+func TestDynamicCPUFormula32(t *testing.T) {
+	// p_mu-cpu = p_su-opt * (1 - u^3)
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0.0, 30},
+		{0.5, 26}, // 30*(1-0.125) = 26.25 -> 26
+		{0.8, 15}, // 30*(1-0.512) = 14.64 -> 15
+		{1.0, 1},  // floor at 1
+	}
+	for _, c := range cases {
+		cpu := make([]float64, 40)
+		for i := range cpu {
+			cpu[i] = c.u
+		}
+		v := testView(cpu, make([]int, 40))
+		if got := (DynamicCPU{}).Degree(q(125, 30, 3), v); got != c.want {
+			t.Errorf("u=%v: pmu-cpu=%d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestRandomSelectDistinct(t *testing.T) {
+	v := testView(make([]float64, 20), make([]int, 20))
+	pes := (RandomSelect{}).Select(8, v, rng())
+	if len(pes) != 8 {
+		t.Fatalf("selected %d", len(pes))
+	}
+	seen := map[int]bool{}
+	for _, pe := range pes {
+		if seen[pe] {
+			t.Fatalf("duplicate PE %d in %v", pe, pes)
+		}
+		seen[pe] = true
+		if pe < 0 || pe >= 20 {
+			t.Fatalf("PE %d out of range", pe)
+		}
+	}
+}
+
+func TestLUCSelectsLeastUtilizedAndBumps(t *testing.T) {
+	v := testView([]float64{0.9, 0.1, 0.3, 0.2}, make([]int, 4))
+	pes := (LUC{}).Select(2, v, rng())
+	if pes[0] != 1 || pes[1] != 3 {
+		t.Errorf("LUC selected %v, want [1 3]", pes)
+	}
+	if v.CPU[1] != 0.1+DefaultCPUBump || v.CPU[3] != 0.2+DefaultCPUBump {
+		t.Errorf("LUC did not bump: %v", v.CPU)
+	}
+	// Bumping spreads the next equal-size selection elsewhere: PE 3 is now
+	// at 0.35, above PE 2's 0.3.
+	pes2 := (LUC{}).Select(2, v, rng())
+	if pes2[0] == 1 && pes2[1] == 3 {
+		t.Errorf("consecutive LUC selections identical despite bump: %v", pes2)
+	}
+}
+
+func TestLUCNoBumpAblation(t *testing.T) {
+	v := testView([]float64{0.9, 0.1, 0.5, 0.2}, make([]int, 4))
+	(LUC{NoBump: true}).Select(2, v, rng())
+	if v.CPU[1] != 0.1 {
+		t.Errorf("NoBump still bumped: %v", v.CPU)
+	}
+}
+
+func TestLUMSelectsMostMemoryAndBumps(t *testing.T) {
+	v := testView(make([]float64, 4), []int{5, 50, 20, 40})
+	l := LUM{MemPerPE: 30}
+	pes := l.Select(2, v, rng())
+	if pes[0] != 1 || pes[1] != 3 {
+		t.Errorf("LUM selected %v, want [1 3]", pes)
+	}
+	if v.FreeMem[1] != 20 || v.FreeMem[3] != 10 {
+		t.Errorf("LUM bump wrong: %v", v.FreeMem)
+	}
+	// Bump never goes negative.
+	l2 := LUM{MemPerPE: 100}
+	l2.Select(2, v, rng())
+	for _, f := range v.FreeMem {
+		if f < 0 {
+			t.Errorf("negative free mem after bump: %v", v.FreeMem)
+		}
+	}
+}
+
+func TestIsolatedComposition(t *testing.T) {
+	v := testView([]float64{0.1, 0.2, 0.3, 0.4}, []int{10, 20, 30, 40})
+	s := Isolated{Deg: StaticNoIO{}, Sel: LUM{}}
+	if s.Name() != "psu-noIO+LUM" {
+		t.Errorf("name=%q", s.Name())
+	}
+	d := s.Decide(q(40, 4, 2), v, rng())
+	if d.Degree() != 2 {
+		t.Errorf("degree=%d, want 2", d.Degree())
+	}
+	if d.JoinPEs[0] != 3 || d.JoinPEs[1] != 2 {
+		t.Errorf("selected %v, want [3 2]", d.JoinPEs)
+	}
+	// mem per PE: ceil(42/2) = 21
+	if d.MemPerPE != 21 {
+		t.Errorf("MemPerPE=%d, want 21", d.MemPerPE)
+	}
+}
+
+func TestMinIOFormula33(t *testing.T) {
+	// AVAIL sorted desc: 40, 30, 20, 10. Hash pages 55.
+	// k=1: 40*1=40 <= 55; k=2: 30*2=60 > 55 -> k=2.
+	v := testView(make([]float64, 4), []int{10, 40, 20, 30})
+	d := (MinIO{}).Decide(q(52, 4, 2), v, rng()) // 52*1.05=54.6 -> 55
+	if d.Degree() != 2 {
+		t.Fatalf("MIN-IO degree=%d, want 2", d.Degree())
+	}
+	if d.JoinPEs[0] != 1 || d.JoinPEs[1] != 3 {
+		t.Errorf("MIN-IO selected %v, want [1 3] (most memory first)", d.JoinPEs)
+	}
+}
+
+func TestMinIOFootnote5Fallback(t *testing.T) {
+	// Paper footnote 5: need 10 pages, availability 8,1,0,0: MIN-IO picks
+	// p=1 on the 8-page node (overflow 2) over p=4 (overflow >= 2.5/PE).
+	v := testView(make([]float64, 4), []int{8, 1, 0, 0})
+	qi := QueryInfo{InnerPages: 10, Fudge: 1.0, PsuOpt: 4, PsuNoIO: 1}
+	d := (MinIO{}).Decide(qi, v, rng())
+	if d.Degree() != 1 {
+		t.Fatalf("MIN-IO fallback degree=%d, want 1 (footnote 5)", d.Degree())
+	}
+	if d.JoinPEs[0] != 0 {
+		t.Errorf("MIN-IO fallback selected PE %d, want 0 (8 pages free)", d.JoinPEs[0])
+	}
+}
+
+func TestMinIOSuOptPicksClosestToSuOpt(t *testing.T) {
+	// Plenty of memory everywhere: avoidance for every k with free*k > hp.
+	// free=50 each, hp=132: k >= 3 avoids. psu-opt=30 on 40 nodes -> 30.
+	free := make([]int, 40)
+	for i := range free {
+		free[i] = 50
+	}
+	v := testView(make([]float64, 40), free)
+	dMin := (MinIO{}).Decide(q(125, 30, 3), v.Clone(), rng())
+	if dMin.Degree() != 3 {
+		t.Errorf("MIN-IO degree=%d, want 3 (minimal avoiding)", dMin.Degree())
+	}
+	dSu := (MinIOSuOpt{}).Decide(q(125, 30, 3), v.Clone(), rng())
+	if dSu.Degree() != 30 {
+		t.Errorf("MIN-IO-SUOPT degree=%d, want 30 (closest to psu-opt)", dSu.Degree())
+	}
+}
+
+func TestOptIOCPUCapsByFormula32(t *testing.T) {
+	// High CPU load: u=0.8 -> cap = 30*(1-0.512) = 15. Memory plentiful,
+	// so the maximal avoiding k within the cap is 15.
+	cpu := make([]float64, 40)
+	for i := range cpu {
+		cpu[i] = 0.8
+	}
+	free := make([]int, 40)
+	for i := range free {
+		free[i] = 50
+	}
+	v := testView(cpu, free)
+	d := (OptIOCPU{}).Decide(q(125, 30, 3), v, rng())
+	if d.Degree() != 15 {
+		t.Errorf("OPT-IO-CPU degree=%d, want 15 (CPU cap)", d.Degree())
+	}
+}
+
+func TestOptIOCPUAvoidsOLTPNodesUnderLowCPU(t *testing.T) {
+	// Fig. 9a scenario: low average CPU, but some nodes memory-laden
+	// (OLTP). pmu-cpu+LUM would use psu-opt nodes including busy ones;
+	// OPT-IO-CPU picks a smaller degree avoiding I/O on the free nodes.
+	n := 10
+	cpu := make([]float64, n)
+	free := make([]int, n)
+	for i := range free {
+		if i < 2 { // OLTP nodes: busy memory
+			free[i] = 5
+			cpu[i] = 0.5
+		} else {
+			free[i] = 50
+			cpu[i] = 0.1
+		}
+	}
+	v := testView(cpu, free)
+	// hp = 132; avoidance needs free[k-1]*k > 132: k=3..8 on the 50-page
+	// nodes (free sorted desc: 50 x8, then 5,5).
+	qi := q(125, 10, 3) // psu-opt = n: static would use every node
+	d := (OptIOCPU{}).Decide(qi, v, rng())
+	for _, pe := range d.JoinPEs {
+		if pe < 2 {
+			t.Errorf("OPT-IO-CPU placed join on OLTP node %d: %v", pe, d.JoinPEs)
+		}
+	}
+	if d.Degree() > 8 {
+		t.Errorf("OPT-IO-CPU degree=%d, want <= 8 (only memory-free nodes)", d.Degree())
+	}
+}
+
+func TestCriticalOverflowMetric(t *testing.T) {
+	// Footnote 5: need 10 pages, availability 8,1,0,0.
+	avail := []int{8, 1, 0, 0}
+	if got := criticalOverflow(avail, 10, 1); got != 2 {
+		t.Errorf("critical overflow k=1: %d, want 2", got)
+	}
+	if got := criticalOverflow(avail, 10, 2); got != 4 { // per=5, worst node has 1
+		t.Errorf("critical overflow k=2: %d, want 4", got)
+	}
+	if got := criticalOverflow(avail, 10, 4); got != 3 { // per=3, worst node has 0
+		t.Errorf("critical overflow k=4: %d, want 3", got)
+	}
+	if got := minOverflowDegree(avail, 10, 4); got != 1 {
+		t.Errorf("minOverflowDegree=%d, want 1 (footnote 5)", got)
+	}
+}
+
+func TestMinOverflowSpreadsUnderGlobalScarcity(t *testing.T) {
+	// Every node almost full: spreading shrinks the per-node share, so the
+	// overflow-minimizing degree grows toward the system size (the paper's
+	// MIN-IO behaviour on larger systems).
+	avail := make([]int, 80)
+	for i := range avail {
+		avail[i] = 2
+	}
+	if got := minOverflowDegree(avail, 132, 80); got < 60 {
+		t.Errorf("minOverflowDegree=%d under scarcity, want >= 60", got)
+	}
+}
+
+func TestControlNodeReportSmoothing(t *testing.T) {
+	c := NewControlNode(2, 0.5, true)
+	c.Report(0, 0.8, 40)
+	if got := c.View().CPU[0]; got != 0.4 {
+		t.Errorf("smoothed CPU=%v, want 0.4", got)
+	}
+	c.Report(0, 0.8, 35)
+	if got := c.View().CPU[0]; got < 0.599 || got > 0.601 {
+		t.Errorf("smoothed CPU=%v, want 0.6", got)
+	}
+	if c.View().FreeMem[0] != 35 {
+		t.Errorf("free mem not replaced: %d", c.View().FreeMem[0])
+	}
+	if c.Reports() != 2 {
+		t.Errorf("reports=%d", c.Reports())
+	}
+}
+
+func TestControlNodeAdaptiveMutatesView(t *testing.T) {
+	c := NewControlNode(4, 1, true)
+	for pe := 0; pe < 4; pe++ {
+		c.Report(pe, 0.1, 50)
+	}
+	c.Decide(Isolated{Deg: StaticDegree{P: 2}, Sel: LUM{}}, q(80, 4, 2), rng())
+	bumped := 0
+	for _, f := range c.View().FreeMem {
+		if f < 50 {
+			bumped++
+		}
+	}
+	if bumped != 2 {
+		t.Errorf("adaptive decide bumped %d nodes, want 2", bumped)
+	}
+}
+
+func TestControlNodeNonAdaptiveKeepsView(t *testing.T) {
+	c := NewControlNode(4, 1, false)
+	for pe := 0; pe < 4; pe++ {
+		c.Report(pe, 0.1, 50)
+	}
+	c.Decide(Isolated{Deg: StaticDegree{P: 2}, Sel: LUM{}}, q(80, 4, 2), rng())
+	for pe, f := range c.View().FreeMem {
+		if f != 50 {
+			t.Errorf("non-adaptive decide mutated view: PE %d free=%d", pe, f)
+		}
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) did not fail")
+	}
+	if _, err := ByName("psu-opt+bogus"); err == nil {
+		t.Error("ByName(psu-opt+bogus) did not fail")
+	}
+	if _, err := ByName("bogus+LUM"); err == nil {
+		t.Error("ByName(bogus+LUM) did not fail")
+	}
+}
+
+// Property: every strategy returns a valid decision — degree within [1, n],
+// distinct in-range PEs, positive memory demand.
+func TestQuickAllStrategiesValidDecisions(t *testing.T) {
+	strategies := make([]Strategy, 0, len(Names()))
+	for _, name := range Names() {
+		strategies = append(strategies, MustByName(name))
+	}
+	f := func(seed int64, nRaw, pagesRaw uint8, cpuRaw []uint8) bool {
+		n := int(nRaw)%30 + 2
+		r := rand.New(rand.NewSource(seed))
+		cpu := make([]float64, n)
+		free := make([]int, n)
+		for i := range cpu {
+			if len(cpuRaw) > 0 {
+				cpu[i] = float64(cpuRaw[i%len(cpuRaw)]) / 255
+			}
+			free[i] = r.Intn(51)
+		}
+		qi := QueryInfo{
+			InnerPages: int64(pagesRaw)%200 + 1,
+			Fudge:      1.05,
+			PsuOpt:     r.Intn(40) + 1,
+			PsuNoIO:    r.Intn(10) + 1,
+		}
+		for _, s := range strategies {
+			v := testView(append([]float64(nil), cpu...), append([]int(nil), free...))
+			d := s.Decide(qi, v, r)
+			if d.Degree() < 1 || d.Degree() > n || d.MemPerPE < 1 {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, pe := range d.JoinPEs {
+				if pe < 0 || pe >= n || seen[pe] {
+					return false
+				}
+				seen[pe] = true
+			}
+			for _, fm := range v.FreeMem {
+				if fm < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MIN-IO's degree is minimal among avoidance degrees whenever one
+// exists: no smaller k satisfies formula 3.3.
+func TestQuickMinIOMinimality(t *testing.T) {
+	f := func(freeRaw []uint8, pagesRaw uint16) bool {
+		if len(freeRaw) < 2 {
+			return true
+		}
+		n := len(freeRaw)
+		if n > 40 {
+			n = 40
+		}
+		free := make([]int, n)
+		for i := 0; i < n; i++ {
+			free[i] = int(freeRaw[i]) % 60
+		}
+		qi := QueryInfo{InnerPages: int64(pagesRaw)%500 + 1, Fudge: 1.05, PsuOpt: 10, PsuNoIO: 2}
+		v := testView(make([]float64, n), free)
+		avail := sortedFree(v)
+		d := (MinIO{NoBump: true}).Decide(qi, v, rand.New(rand.NewSource(1)))
+		k := d.Degree()
+		hp := qi.HashPages()
+		if avail[k-1]*k > hp {
+			// avoidance achieved: verify minimality
+			for j := 1; j < k; j++ {
+				if avail[j-1]*j > hp {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

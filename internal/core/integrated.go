@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The integrated strategies of Section 3.3 determine the degree of join
+// parallelism and the processor selection in a single step from the control
+// node's AVAIL-MEMORY array (free memory per node, sorted descending), using
+// the LUM placement for the chosen k.
+
+// avoidanceDegrees returns, for the AVAIL-MEMORY order avail (free pages of
+// the k-th most-free PE at index k-1), every k whose selection avoids
+// temporary file I/O: AVAIL[k].free * k > hashPages (formula 3.3 uses the
+// k-th node's free memory, the minimum over the selected k).
+func avoidanceDegrees(avail []int, hashPages int) []int {
+	var ks []int
+	for k := 1; k <= len(avail); k++ {
+		if avail[k-1]*k > hashPages {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// criticalOverflow returns the temporary-I/O pages of the *critical* join
+// processor — the selected node with the least available memory — when the
+// hash table is split over the first k nodes of the AVAIL-MEMORY order.
+// Section 3.3: "from the p_mu selected processors the one with the minimum
+// amount of available memory ... determines response times under memory or
+// disk bottlenecks"; footnote 5 minimizes exactly this quantity (k=1 on the
+// 8-page node limits overflow to 2 versus "at least 2.5 MB per processor"
+// for k=4).
+func criticalOverflow(avail []int, hashPages, k int) int {
+	per := (hashPages + k - 1) / k
+	if d := per - avail[k-1]; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// minOverflowDegree returns the k in [1, maxK] minimizing the critical
+// node's overflow, preferring smaller k on ties (fewer subqueries for the
+// same worst-case I/O delay). Under global scarcity this metric grows the
+// degree — spreading shrinks every processor's share — which is the
+// behaviour the paper reports for MIN-IO(-SUOPT) on larger systems.
+func minOverflowDegree(avail []int, hashPages, maxK int) int {
+	best, bestSpill := 1, math.MaxInt
+	for k := 1; k <= maxK && k <= len(avail); k++ {
+		if s := criticalOverflow(avail, hashPages, k); s < bestSpill {
+			best, bestSpill = k, s
+		}
+	}
+	return best
+}
+
+// selectLUM returns the first k PEs of the AVAIL-MEMORY order (randomized
+// tie-breaking) and applies the adaptive memory bump to the view.
+func selectLUM(q QueryInfo, v *View, k int, bump bool, rng *rand.Rand) Decision {
+	ids := v.byFreeMemR(rng)[:k]
+	out := append([]int(nil), ids...)
+	mem := memPerPE(q, k)
+	if bump {
+		for _, pe := range out {
+			v.FreeMem[pe] -= min(mem, v.FreeMem[pe])
+		}
+	}
+	return Decision{JoinPEs: out, MemPerPE: mem}
+}
+
+// MinIO implements the MIN-IO strategy: the minimal number of join
+// processors avoiding temporary file I/O (formula 3.3); if no selection
+// avoids it, the degree minimizing the overflow volume. CPU utilization is
+// ignored — the strategy's known weakness under CPU contention.
+type MinIO struct {
+	NoBump bool
+}
+
+// Name implements Strategy.
+func (MinIO) Name() string { return "MIN-IO" }
+
+// Decide implements Strategy.
+func (s MinIO) Decide(q QueryInfo, v *View, rng *rand.Rand) Decision {
+	avail := sortedFree(v)
+	hp := q.HashPages()
+	ks := avoidanceDegrees(avail, hp)
+	k := 0
+	if len(ks) > 0 {
+		k = ks[0]
+	} else {
+		k = minOverflowDegree(avail, hp, v.N())
+	}
+	return selectLUM(q, v, k, !s.NoBump, rng)
+}
+
+// MinIOSuOpt implements MIN-IO-SUOPT: among the degrees avoiding temporary
+// file I/O, the one closest to p_su-opt (larger on ties, to exploit CPU
+// parallelism); same fallback as MIN-IO when avoidance is impossible.
+type MinIOSuOpt struct {
+	NoBump bool
+}
+
+// Name implements Strategy.
+func (MinIOSuOpt) Name() string { return "MIN-IO-SUOPT" }
+
+// Decide implements Strategy.
+func (s MinIOSuOpt) Decide(q QueryInfo, v *View, rng *rand.Rand) Decision {
+	avail := sortedFree(v)
+	hp := q.HashPages()
+	ks := avoidanceDegrees(avail, hp)
+	var k int
+	if len(ks) > 0 {
+		k = closest(ks, q.PsuOpt)
+	} else {
+		k = minOverflowDegree(avail, hp, v.N())
+	}
+	return selectLUM(q, v, k, !s.NoBump, rng)
+}
+
+// OptIOCPU implements OPT-IO-CPU: the degree is capped by p_mu-cpu
+// (formula 3.2, the CPU-dependent reduction of p_su-opt); within 1..cap the
+// maximal degree avoiding temporary I/O is chosen, or the overflow-
+// minimizing one if avoidance is impossible.
+type OptIOCPU struct {
+	NoBump bool
+}
+
+// Name implements Strategy.
+func (OptIOCPU) Name() string { return "OPT-IO-CPU" }
+
+// Decide implements Strategy.
+func (s OptIOCPU) Decide(q QueryInfo, v *View, rng *rand.Rand) Decision {
+	maxK := DynamicCPU{}.Degree(q, v)
+	avail := sortedFree(v)
+	hp := q.HashPages()
+	var k int
+	for _, cand := range avoidanceDegrees(avail, hp) {
+		if cand <= maxK && cand > k {
+			k = cand
+		}
+	}
+	if k == 0 {
+		k = minOverflowDegree(avail, hp, maxK)
+	}
+	return selectLUM(q, v, k, !s.NoBump, rng)
+}
+
+// sortedFree returns free memory in AVAIL-MEMORY order (descending).
+func sortedFree(v *View) []int {
+	ids := v.ByFreeMem()
+	out := make([]int, len(ids))
+	for i, pe := range ids {
+		out[i] = v.FreeMem[pe]
+	}
+	return out
+}
+
+// closest returns the value of ks nearest to target, preferring the larger
+// candidate on ties.
+func closest(ks []int, target int) int {
+	best := ks[0]
+	for _, k := range ks[1:] {
+		db, dk := abs(best-target), abs(k-target)
+		if dk < db || (dk == db && k > best) {
+			best = k
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's contribution: the control-node state
+// and the family of static/dynamic, isolated/integrated multi-resource
+// load-balancing strategies for parallel hash-join processing (Section 3 of
+// Rahm & Marek, VLDB '95).
+//
+// The package is pure decision logic over a View of the system state; the
+// simulation engine owns the message flow that keeps the view current
+// (periodic utilization reports) and pays its communication costs.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// View is the control node's knowledge of the system: per-PE CPU
+// utilization and free memory (the AVAIL-MEMORY array of Section 3.3). It
+// is a snapshot — possibly stale, which is exactly why the adaptive bumping
+// of Section 3.2 exists.
+type View struct {
+	CPU     []float64 // per-PE CPU utilization in [0,1]
+	FreeMem []int     // per-PE available buffer pages
+}
+
+// N returns the number of PEs in the view.
+func (v *View) N() int { return len(v.CPU) }
+
+// AvgCPU returns the mean CPU utilization over all PEs (the u_cpu of
+// formula 3.2).
+func (v *View) AvgCPU() float64 {
+	if len(v.CPU) == 0 {
+		return 0
+	}
+	var s float64
+	for _, u := range v.CPU {
+		s += u
+	}
+	return s / float64(len(v.CPU))
+}
+
+// ByFreeMem returns PE ids sorted by free memory descending (AVAIL-MEMORY
+// order), ties broken by PE id for determinism.
+func (v *View) ByFreeMem() []int {
+	ids := idSlice(len(v.FreeMem))
+	sort.SliceStable(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if v.FreeMem[a] != v.FreeMem[b] {
+			return v.FreeMem[a] > v.FreeMem[b]
+		}
+		return a < b
+	})
+	return ids
+}
+
+// ByCPU returns PE ids sorted by CPU utilization ascending (least utilized
+// first), ties broken by PE id.
+func (v *View) ByCPU() []int {
+	ids := idSlice(len(v.CPU))
+	sort.SliceStable(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if v.CPU[a] != v.CPU[b] {
+			return v.CPU[a] < v.CPU[b]
+		}
+		return a < b
+	})
+	return ids
+}
+
+// byFreeMemR is ByFreeMem with randomized tie-breaking: PEs with equal free
+// memory are ordered randomly, not by id. In a homogeneous system many PEs
+// tie (all buffers equally free), and deterministic ties would herd every
+// selection onto the same low-id nodes.
+func (v *View) byFreeMemR(rng *rand.Rand) []int {
+	ids := shuffled(len(v.FreeMem), rng)
+	sort.SliceStable(ids, func(i, j int) bool {
+		return v.FreeMem[ids[i]] > v.FreeMem[ids[j]]
+	})
+	return ids
+}
+
+// byCPUR is ByCPU with randomized tie-breaking.
+func (v *View) byCPUR(rng *rand.Rand) []int {
+	ids := shuffled(len(v.CPU), rng)
+	sort.SliceStable(ids, func(i, j int) bool {
+		return v.CPU[ids[i]] < v.CPU[ids[j]]
+	})
+	return ids
+}
+
+func shuffled(n int, rng *rand.Rand) []int {
+	if rng == nil {
+		return idSlice(n)
+	}
+	return rng.Perm(n)
+}
+
+// Clone deep-copies the view (strategies may bump it during selection).
+func (v *View) Clone() *View {
+	return &View{
+		CPU:     append([]float64(nil), v.CPU...),
+		FreeMem: append([]int(nil), v.FreeMem...),
+	}
+}
+
+func idSlice(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// QueryInfo carries the per-query quantities strategies reason about.
+type QueryInfo struct {
+	InnerPages int64   // b_i: pages of the (selected) inner join input
+	Fudge      float64 // hash table fudge factor F
+	PsuOpt     int     // single-user optimal degree (cost model)
+	PsuNoIO    int     // formula 3.1 degree
+}
+
+// HashPages returns ceil(b_i * F): the pages the full inner hash table
+// needs.
+func (q QueryInfo) HashPages() int {
+	hp := int64(float64(q.InnerPages)*q.Fudge + 0.9999)
+	if hp < 1 {
+		hp = 1
+	}
+	return int(hp)
+}
+
+// Decision is a strategy's output: where to run the join and how much
+// working space each join process should request.
+type Decision struct {
+	JoinPEs  []int // selected join processors
+	MemPerPE int   // desired working-space pages per join processor
+}
+
+// Degree returns the chosen degree of join parallelism.
+func (d Decision) Degree() int { return len(d.JoinPEs) }
+
+func (d Decision) String() string {
+	return fmt.Sprintf("p=%d mem/PE=%d PEs=%v", len(d.JoinPEs), d.MemPerPE, d.JoinPEs)
+}
+
+// Strategy decides the degree of join parallelism and the join processors
+// for one query, given the current control-node view.
+type Strategy interface {
+	// Name returns the paper's identifier, e.g. "psu-opt+RANDOM".
+	Name() string
+	// Decide picks join processors for q. Implementations must not retain
+	// v. rng provides the only randomness (RANDOM selection).
+	Decide(q QueryInfo, v *View, rng *rand.Rand) Decision
+}
+
+// memPerPE returns the working-space demand when the hash table is split
+// over k join processors.
+func memPerPE(q QueryInfo, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	return (q.HashPages() + k - 1) / k
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+	"dynlb/internal/sim"
+)
+
+// quickCfg returns a small, fast configuration for engine tests.
+func quickCfg() config.Config {
+	cfg := config.Default()
+	cfg.NPE = 10
+	cfg.JoinQPSPerPE = 0.1
+	cfg.Warmup = 2 * sim.Second
+	cfg.MeasureTime = 10 * sim.Second
+	return cfg
+}
+
+func TestSystemSmokeMultiUser(t *testing.T) {
+	s := MustNew(quickCfg(), core.MustByName("pmu-cpu+LUM"))
+	res := s.Run()
+	if res.JoinsDone == 0 {
+		t.Fatal("no joins completed")
+	}
+	if res.JoinRT.MeanMS <= 0 {
+		t.Fatalf("join response time %v", res.JoinRT.MeanMS)
+	}
+	if res.CPUUtil <= 0 || res.CPUUtil > 1 {
+		t.Fatalf("CPU utilization %v", res.CPUUtil)
+	}
+	if res.AvgJoinDegree < 1 {
+		t.Fatalf("avg degree %v", res.AvgJoinDegree)
+	}
+}
+
+func TestSystemSingleUser(t *testing.T) {
+	cfg := quickCfg()
+	cfg.JoinQPSPerPE = 0 // closed loop, one query at a time
+	s := MustNew(cfg, core.MustByName("psu-opt+RANDOM"))
+	res := s.Run()
+	if res.JoinsDone == 0 {
+		t.Fatal("no joins completed in single-user mode")
+	}
+	// Single-user: no concurrent queries, so no memory-queue waits.
+	if res.MeanMemWaitMS > 1 {
+		t.Errorf("single-user memory wait %vms", res.MeanMemWaitMS)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() Results {
+		return MustNew(quickCfg(), core.MustByName("OPT-IO-CPU")).Run()
+	}
+	a, b := run(), run()
+	if a.JoinsDone != b.JoinsDone || a.JoinRT.MeanMS != b.JoinRT.MeanMS ||
+		a.TempIOPages != b.TempIOPages || a.CPUUtil != b.CPUUtil {
+		t.Fatalf("runs diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := quickCfg()
+	a := MustNew(cfg, core.MustByName("pmu-cpu+LUM")).Run()
+	cfg.Seed = 99
+	b := MustNew(cfg, core.MustByName("pmu-cpu+LUM")).Run()
+	if a.JoinRT.MeanMS == b.JoinRT.MeanMS && a.JoinsDone == b.JoinsDone {
+		t.Fatal("different seeds produced identical results; RNG not wired")
+	}
+}
+
+func TestAllStrategiesComplete(t *testing.T) {
+	for _, name := range core.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := quickCfg()
+			cfg.MeasureTime = 6 * sim.Second
+			res := MustNew(cfg, core.MustByName(name)).Run()
+			if res.JoinsDone == 0 {
+				t.Fatalf("%s: no joins completed", name)
+			}
+		})
+	}
+}
+
+func TestHeterogeneousWorkloadRuns(t *testing.T) {
+	cfg := quickCfg()
+	cfg.DisksPerPE = 5
+	cfg.OLTP.Placement = config.OLTPOnANode
+	cfg.OLTP.TPSPerNode = 50
+	cfg.JoinQPSPerPE = 0.075
+	s := MustNew(cfg, core.MustByName("OPT-IO-CPU"))
+	res := s.Run()
+	if res.OLTPDone == 0 {
+		t.Fatal("no OLTP transactions completed")
+	}
+	if res.JoinsDone == 0 {
+		t.Fatal("no joins completed alongside OLTP")
+	}
+	if res.OLTPRT.MeanMS <= 0 || res.OLTPRT.MeanMS > 1000 {
+		t.Fatalf("OLTP response time %vms implausible", res.OLTPRT.MeanMS)
+	}
+}
+
+func TestMemoryPressureCausesTempIO(t *testing.T) {
+	// Tiny memory: hash tables cannot fit, so temporary I/O must appear.
+	cfg := quickCfg()
+	cfg.BufferPages = 8
+	cfg.MeasureTime = 6 * sim.Second
+	res := MustNew(cfg, core.MustByName("pmu-cpu+LUM")).Run()
+	if res.TempIOPages == 0 {
+		t.Fatal("no temporary I/O despite 8-page buffers")
+	}
+}
+
+func TestAmpleMemoryAvoidsTempIO(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BufferPages = 400
+	cfg.MeasureTime = 6 * sim.Second
+	res := MustNew(cfg, core.MustByName("MIN-IO")).Run()
+	if res.TempIOPages != 0 {
+		t.Fatalf("temporary I/O %d despite ample memory and MIN-IO", res.TempIOPages)
+	}
+}
+
+func TestControlNodeReceivesReports(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MeasureTime = 5 * sim.Second
+	s := MustNew(cfg, core.MustByName("pmu-cpu+LUM"))
+	s.Run()
+	// 10 PEs reporting every 500ms for ~7s simulated.
+	if s.Control().Reports() < int64(cfg.NPE)*5 {
+		t.Fatalf("only %d reports received", s.Control().Reports())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cfg := quickCfg()
+	cfg.NPE = 1
+	if _, err := New(cfg, core.MustByName("MIN-IO")); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(quickCfg(), nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}
+
+func TestNoLeakedProcessesBlockedForever(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MeasureTime = 5 * sim.Second
+	s := MustNew(cfg, core.MustByName("pmu-cpu+LUM"))
+	s.Run()
+	// Arrival drivers and reporters stay alive by design; anything beyond
+	// a small bound suggests stuck queries. At most: drivers (2) +
+	// reporters (NPE) + detector + in-flight queries (~MPL*NPE worst).
+	if got := s.Kernel().Live(); got > 200 {
+		t.Fatalf("%d live processes after run; queries leaking?", got)
+	}
+}

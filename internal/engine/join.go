@@ -1,0 +1,620 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"dynlb/internal/core"
+	"dynlb/internal/lock"
+	"dynlb/internal/pphj"
+	"dynlb/internal/sim"
+)
+
+// Space ids 1 and 2 are reserved for the A and B relations (their lock
+// keys); dynamically allocated spaces start above reservedSpaces.
+const (
+	spaceRelA      = -1
+	spaceRelB      = -2
+	spaceOLTPBase  = -1000 // acctSpace = spaceOLTPBase - 2*pe, leaf = -1
+	spaceIndexBase = -4000 // index descent pages of relation fragments
+)
+
+// joinQuery carries the runtime state of one parallel hash-join query.
+type joinQuery struct {
+	s       *System
+	id      int64
+	txn     lock.TxnID
+	coordPE int
+	arrival sim.Time
+	dec     core.Decision
+
+	aPEs, bPEs []int
+	joinMail   []*sim.Chan[jmsg]
+	coordMail  *sim.Chan[cmsg]
+
+	// weights are the redistribution shares of the join processes (nil =
+	// uniform). With RedistributionSkew > 0 process i receives a share
+	// proportional to 1/(i+1)^skew — the partitioning skew the paper's
+	// outlook discusses.
+	weights []float64
+}
+
+// initWeights fills q.weights for a skewed configuration.
+func (q *joinQuery) initWeights(deg int) {
+	z := q.s.cfg.RedistributionSkew
+	if z == 0 {
+		return
+	}
+	q.weights = make([]float64, deg)
+	var sum float64
+	for i := range q.weights {
+		q.weights[i] = 1 / math.Pow(float64(i+1), z)
+		sum += q.weights[i]
+	}
+	for i := range q.weights {
+		q.weights[i] /= sum
+	}
+}
+
+// expectedShare returns join process idx's expected share of total tuples.
+func (q *joinQuery) expectedShare(total int64, idx int) int64 {
+	if q.weights == nil {
+		return share(total, len(q.joinMail), idx)
+	}
+	return int64(q.weights[idx] * float64(total))
+}
+
+// runJoinQuery executes one two-way join query in the calling process (the
+// coordinator on coordPE) and returns its response time. The flow follows
+// Sections 2 and 4: decision round trip, parallel A scans redistributing
+// into the join processes (building), parallel B scans (probing), deferred
+// partition joins, result merge at the coordinator, read-only two-phase
+// commit with a single round.
+func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Duration {
+	pe := s.pe(coordPE)
+	pe.mpl.Get(p, 1)
+	defer pe.mpl.Put(1)
+
+	s.nextQuery++
+	q := &joinQuery{
+		s:       s,
+		id:      s.nextQuery,
+		txn:     s.newTxnID(),
+		coordPE: coordPE,
+		arrival: arrival,
+		aPEs:    s.cfg.ANodes(),
+		bPEs:    s.cfg.BNodes(),
+	}
+	q.coordMail = sim.NewChan[cmsg](s.k, fmt.Sprintf("q%d/coord", q.id))
+
+	pe.compute(p, s.cfg.Costs.InitTxn)
+
+	q.dec = s.requestDecision(p, coordPE)
+	deg := q.dec.Degree()
+	if s.measuring {
+		s.joinsStarted++
+		s.degrees.Add(float64(deg))
+	}
+
+	// Query-atomic memory admission: the paper's "a join query is only
+	// started if its minimal space requirement is available" enforced at
+	// query granularity — a query enters only when the *minimum* working
+	// space of all its join processes fits the admission budget. Without
+	// this, queries whose subjoins sit at their minimum on one node while
+	// waiting on another can deadlock each other under extreme memory
+	// scarcity (e.g. the Fig. 7 configuration).
+	if s.memBudget != nil {
+		perProc := clampMinSpace(
+			pphj.NumPartitions(pagesFor(share(s.cfg.AScanTuples(), deg, 0), s.cfg.Blocking), s.cfg.FudgeFactor),
+			s.cfg.BufferPages)
+		demand := deg * perProc
+		if demand > s.memBudget.Cap() {
+			demand = s.memBudget.Cap()
+		}
+		memWaitStart := s.k.Now()
+		s.memBudget.Get(p, demand)
+		defer s.memBudget.Put(demand)
+		if s.measuring {
+			s.memWaitMS.Add((s.k.Now() - memWaitStart).Milliseconds())
+		}
+	}
+
+	// Start the join processes, then the A scans (building phase).
+	q.joinMail = make([]*sim.Chan[jmsg], deg)
+	q.initWeights(deg)
+	for i := 0; i < deg; i++ {
+		i := i
+		q.joinMail[i] = sim.NewChan[jmsg](s.k, fmt.Sprintf("q%d/join%d", q.id, i))
+		jpe := s.pe(q.dec.JoinPEs[i])
+		s.sendCtl(p, coordPE, jpe.id, func() {
+			s.k.Spawn(fmt.Sprintf("q%d/joinproc%d", q.id, i), func(jp *sim.Proc) {
+				s.runJoinProc(jp, q, jpe, i)
+			})
+		})
+	}
+	for i, ape := range q.aPEs {
+		i, ape := i, ape
+		s.sendCtl(p, coordPE, ape, func() {
+			s.k.Spawn(fmt.Sprintf("q%d/scanA%d", q.id, i), func(sp *sim.Proc) {
+				s.runScan(sp, q, s.pe(ape), true, i)
+			})
+		})
+	}
+
+	// Building phase: collect scan completions, then signal end-of-build
+	// to the join processes and wait for their reports.
+	for done := 0; done < len(q.aPEs); {
+		m, _ := q.coordMail.Get(p)
+		switch m.kind {
+		case cmsgScanADone:
+			s.recvCtlCPU(p, coordPE)
+			done++
+		case cmsgResult:
+			s.recvDataCPU(p, coordPE, m.tuples)
+		default:
+			panic(fmt.Sprintf("engine: q%d unexpected %v during A scans", q.id, m.kind))
+		}
+	}
+	q.broadcastJoin(p, jmsgAEOF)
+	for done := 0; done < deg; {
+		m, _ := q.coordMail.Get(p)
+		switch m.kind {
+		case cmsgBuildDone:
+			s.recvCtlCPU(p, coordPE)
+			done++
+		case cmsgResult:
+			s.recvDataCPU(p, coordPE, m.tuples)
+		default:
+			panic(fmt.Sprintf("engine: q%d unexpected %v during build", q.id, m.kind))
+		}
+	}
+
+	// Probing phase: start the B scans.
+	for i, bpe := range q.bPEs {
+		i, bpe := i, bpe
+		s.sendCtl(p, coordPE, bpe, func() {
+			s.k.Spawn(fmt.Sprintf("q%d/scanB%d", q.id, i), func(sp *sim.Proc) {
+				s.runScan(sp, q, s.pe(bpe), false, i)
+			})
+		})
+	}
+	for done := 0; done < len(q.bPEs); {
+		m, _ := q.coordMail.Get(p)
+		switch m.kind {
+		case cmsgScanBDone:
+			s.recvCtlCPU(p, coordPE)
+			done++
+		case cmsgResult:
+			s.recvDataCPU(p, coordPE, m.tuples)
+		default:
+			panic(fmt.Sprintf("engine: q%d unexpected %v during B scans", q.id, m.kind))
+		}
+	}
+	q.broadcastJoin(p, jmsgBEOF)
+	for done := 0; done < deg; {
+		m, _ := q.coordMail.Get(p)
+		switch m.kind {
+		case cmsgResult:
+			s.recvDataCPU(p, coordPE, m.tuples)
+		case cmsgJoinDone:
+			s.recvCtlCPU(p, coordPE)
+			done++
+		default:
+			panic(fmt.Sprintf("engine: q%d unexpected %v during probe", q.id, m.kind))
+		}
+	}
+
+	// Read-only optimization: one commit round releases the read locks.
+	participants := 0
+	commitOne := func(target int) {
+		participants++
+		s.sendCtl(p, coordPE, target, func() {
+			s.k.Spawn("commit-participant", func(cp *sim.Proc) {
+				s.recvCtlCPU(cp, target)
+				s.pe(target).locks.ReleaseAll(q.txn)
+				s.sendCtl(cp, target, coordPE, func() {
+					q.coordMail.Put(cmsg{kind: cmsgAck, from: target})
+				})
+			})
+		})
+	}
+	for _, ape := range q.aPEs {
+		commitOne(ape)
+	}
+	for _, bpe := range q.bPEs {
+		commitOne(bpe)
+	}
+	for acks := 0; acks < participants; {
+		m, _ := q.coordMail.Get(p)
+		if m.kind != cmsgAck {
+			panic(fmt.Sprintf("engine: q%d unexpected %v during commit", q.id, m.kind))
+		}
+		s.recvCtlCPU(p, coordPE)
+		acks++
+	}
+	pe.compute(p, s.cfg.Costs.TermTxn)
+
+	// Return the placement's reservation to the control node's ledger.
+	dec := q.dec
+	s.sendCtlAsync(coordPE, s.ctrlPE, func() {
+		s.k.Spawn("ctrl-release", func(cp *sim.Proc) {
+			s.recvCtlCPU(cp, s.ctrlPE)
+			s.ctrl.Release(dec)
+		})
+	})
+
+	rt := s.k.Now() - arrival
+	if s.measuring {
+		s.joinRT.Add(rt.Milliseconds())
+	}
+	return rt
+}
+
+// scanSpacePages returns a scan subquery's working-space request:
+// input/prefetch buffers plus redistribution output buffering, scaled down
+// on small buffers. Scans take what is available without blocking and give
+// frames back under pressure (they degrade to smaller buffers, not to
+// waiting).
+func scanSpacePages(bufferPages int) int {
+	pages := bufferPages / 8
+	if pages > 6 {
+		pages = 6
+	}
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// runScan executes one scan subquery: a clustered-index selection over the
+// local fragment whose output is redistributed among the join processes.
+func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx int) {
+	s.recvCtlCPU(p, pe.id) // start message
+	c := &s.cfg
+
+	space := pe.buf.NewSpace(fmt.Sprintf("q%d/scan%d", q.id, pe.id), bufferQueryPriority, 0)
+	space.AcquireBestEffort(p, scanSpacePages(c.BufferPages))
+	space.SetStealHandler(func(need int) int {
+		// Scan buffers shrink to one page under memory pressure.
+		give := space.Pages() - 1
+		if give > need {
+			give = need
+		}
+		if give <= 0 {
+			return 0
+		}
+		space.Release(give)
+		return give
+	})
+	defer space.Close()
+
+	relSpace := int64(spaceRelA)
+	total, nodes := c.ATuples, len(q.aPEs)
+	if !inner {
+		relSpace = spaceRelB
+		total, nodes = c.BTuples, len(q.bPEs)
+	}
+	// Long read lock on the fragment (released by the commit round).
+	if err := pe.locks.Lock(p, q.txn, lock.Key{Space: relSpace, Item: 0}, lock.Shared); err != nil {
+		panic("engine: scan read lock aborted") // queries never deadlock: single S lock
+	}
+
+	match := share(selTuples(total, c.ScanSelectivity), nodes, fragIdx)
+
+	// Index descent: root is memory-resident, inner levels come from the
+	// disk cache most of the time.
+	for lvl := int64(0); lvl < 2; lvl++ {
+		pg := pageID(spaceIndexBase-int64(pe.id), lvl)
+		if !pe.disks.Read(p, dataDiskFor(pe, lvl), pg, false) {
+			pe.compute(p, c.Costs.IO)
+		}
+	}
+
+	// Read matching pages and redistribute by hash partitioning: one
+	// output buffer per join process, flushed when a packet fills and at
+	// scan end. With a high degree of parallelism most messages carry only
+	// partially filled packets — the redistribution overhead that grows
+	// with the degree of parallelism (Section 5.2).
+	deg := q.dec.Degree()
+	kind := jmsgProbe
+	if inner {
+		kind = jmsgBuild
+	}
+	tpp := c.TuplesPerPacket()
+	bufs := make([]int64, deg)
+	sendBuf := func(idx int) {
+		n := bufs[idx]
+		if n == 0 {
+			return
+		}
+		bufs[idx] = 0
+		mail := q.joinMail[idx]
+		s.sendData(p, pe.id, q.dec.JoinPEs[idx], n, func() {
+			mail.Put(jmsg{kind: kind, tuples: n})
+		})
+	}
+	rr := (int(q.id) + fragIdx) % deg
+	credit := make([]float64, 0)
+	if q.weights != nil {
+		credit = make([]float64, deg)
+	}
+	var sent int64
+	var pageCursor int64
+	for remaining := match; remaining > 0; {
+		pg := pageID(relSpace*1_000_000-int64(fragIdx)*100_000, pageCursor)
+		if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
+			pe.compute(p, c.Costs.IO)
+		}
+		pageCursor++
+		n := int64(c.Blocking)
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		pe.compute(p, n*(c.Costs.ReadTuple+c.Costs.WriteTuple))
+		// The page's tuples hash-partition over the join processes —
+		// uniformly round-robin, or by the configured skew weights; full
+		// output buffers are transmitted immediately.
+		if q.weights == nil {
+			sent += n
+			for ; n > 0; n-- {
+				bufs[rr]++
+				if bufs[rr] >= tpp {
+					sendBuf(rr)
+				}
+				rr = (rr + 1) % deg
+			}
+		} else {
+			for i := range credit {
+				credit[i] += float64(n) * q.weights[i]
+				if add := int64(credit[i]); add > 0 {
+					credit[i] -= float64(add)
+					bufs[i] += add
+					sent += add
+					for bufs[i] >= tpp {
+						sendBuf(i)
+					}
+				}
+			}
+		}
+	}
+	// Skewed apportionment truncates fractions; hand leftovers out
+	// round-robin so every matching tuple is shipped.
+	for ; sent < match; sent++ {
+		bufs[rr]++
+		if bufs[rr] >= tpp {
+			sendBuf(rr)
+		}
+		rr = (rr + 1) % deg
+	}
+	// Scan end: transmit the partially filled output buffers, then report
+	// completion to the coordinator (which broadcasts end-of-phase to the
+	// join processes once all scans are in).
+	for i := range bufs {
+		sendBuf(i)
+	}
+	done := cmsgScanBDone
+	if inner {
+		done = cmsgScanADone
+	}
+	s.sendCtl(p, pe.id, q.coordPE, func() {
+		q.coordMail.Put(cmsg{kind: done, from: pe.id})
+	})
+}
+
+// broadcastJoin sends a control message to every join process.
+func (q *joinQuery) broadcastJoin(p *sim.Proc, kind jmsgKind) {
+	for i := range q.joinMail {
+		mail := q.joinMail[i]
+		q.s.sendCtl(p, q.coordPE, q.dec.JoinPEs[i], func() {
+			mail.Put(jmsg{kind: kind})
+		})
+	}
+}
+
+// runJoinProc executes one join process: working-space acquisition (the
+// FCFS memory queue), PPHJ building/probing, deferred partition joins, and
+// result shipping.
+func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
+	s.recvCtlCPU(p, pe.id) // start message
+	c := &s.cfg
+	mail := q.joinMail[idx]
+
+	expInnerTuples := q.expectedShare(s.cfg.AScanTuples(), idx)
+	expInnerPages := pagesFor(expInnerTuples, c.Blocking)
+	minPages := clampMinSpace(pphj.NumPartitions(expInnerPages, c.FudgeFactor), c.BufferPages)
+	desired := q.dec.MemPerPE
+	if desired < minPages {
+		desired = minPages
+	}
+
+	space := pe.buf.NewSpace(fmt.Sprintf("q%d/j%d", q.id, idx), bufferQueryPriority, minPages)
+	waitStart := s.k.Now()
+	got := space.Acquire(p, desired)
+	if s.measuring {
+		s.memWaitMS.Add((s.k.Now() - waitStart).Milliseconds())
+	}
+	defer space.Close()
+
+	j := pphj.New(expInnerPages, c.FudgeFactor, c.Blocking, got)
+	temp := pe.newTemp()
+	space.SetStealHandler(func(need int) int {
+		avail := space.Pages() - j.MinPages()
+		if avail <= 0 {
+			return 0
+		}
+		release := need
+		if release > avail {
+			release = avail
+		}
+		w := j.SetMem(space.Pages() - release)
+		temp.writeAsync(w)
+		space.Release(release)
+		return release
+	})
+
+	res := &resultEmitter{s: s, q: q, pe: pe}
+
+	// --- Building phase ---
+	for building := true; building; {
+		m, _ := mail.Get(p)
+		switch m.kind {
+		case jmsgBuild:
+			s.recvDataCPU(p, pe.id, m.tuples)
+			pe.compute(p, m.tuples*(c.Costs.HashTuple+c.Costs.InsertHash))
+			temp.write(p, j.Build(m.tuples))
+		case jmsgAEOF:
+			s.recvCtlCPU(p, pe.id)
+			building = false
+		default:
+			panic("engine: unexpected probe data during build")
+		}
+	}
+	j.EndBuild()
+	// Memory may have freed up since acquisition: revive partitions.
+	if grown := space.TryGrow(desired - space.Pages()); grown > 0 {
+		j.SetMem(space.Pages())
+		temp.read(p, j.Revive())
+	}
+	s.sendCtl(p, pe.id, q.coordPE, func() {
+		q.coordMail.Put(cmsg{kind: cmsgBuildDone, from: pe.id})
+	})
+
+	// --- Probing phase ---
+	for probing := true; probing; {
+		m, _ := mail.Get(p)
+		switch m.kind {
+		case jmsgProbe:
+			s.recvDataCPU(p, pe.id, m.tuples)
+			direct, spilled, w := j.Probe(m.tuples)
+			pe.compute(p, direct*(c.Costs.HashTuple+c.Costs.ProbeHash)+
+				spilled*(c.Costs.HashTuple+c.Costs.WriteTuple))
+			temp.write(p, w)
+			res.probe(p, direct)
+		case jmsgBEOF:
+			s.recvCtlCPU(p, pe.id)
+			probing = false
+		default:
+			panic("engine: unexpected build data during probe")
+		}
+	}
+	temp.flush(p)
+
+	// --- Deferred partition joins ---
+	for _, d := range j.DeferredPlan() {
+		if d.APages > 0 {
+			temp.read(p, d.APages)
+			pe.compute(p, d.ATuples*(c.Costs.ReadTuple+c.Costs.InsertHash))
+		}
+		if d.BPages > 0 {
+			temp.read(p, d.BPages)
+			pe.compute(p, d.BTuples*(c.Costs.ReadTuple+c.Costs.ProbeHash))
+			res.probe(p, d.BTuples)
+		}
+	}
+	res.flush(p)
+
+	s.sendCtl(p, pe.id, q.coordPE, func() {
+		q.coordMail.Put(cmsg{kind: cmsgJoinDone, from: pe.id})
+	})
+}
+
+// resultEmitter converts probed outer tuples into result tuples (the join
+// result is ResultFraction of the inner scan output, so each outer tuple
+// matches with ratio |result| / |sel(B)|) and ships full packets to the
+// coordinator.
+type resultEmitter struct {
+	s     *System
+	q     *joinQuery
+	pe    *PE
+	carry int64 // numerator remainder of probed*|result| / |sel(B)|
+	buf   int64 // result tuples awaiting a full packet
+}
+
+func (r *resultEmitter) probe(p *sim.Proc, probed int64) {
+	c := &r.s.cfg
+	totalB := c.BScanTuples()
+	if totalB == 0 {
+		return
+	}
+	totalRes := int64(float64(c.AScanTuples()) * c.ResultFraction)
+	r.carry += probed * totalRes
+	emit := r.carry / totalB
+	r.carry %= totalB
+	if emit == 0 {
+		return
+	}
+	r.pe.compute(p, emit*c.Costs.WriteTuple)
+	r.buf += emit
+	tpp := c.TuplesPerPacket()
+	for r.buf >= tpp {
+		r.send(p, tpp)
+		r.buf -= tpp
+	}
+}
+
+func (r *resultEmitter) flush(p *sim.Proc) {
+	if r.buf > 0 {
+		r.send(p, r.buf)
+		r.buf = 0
+	}
+}
+
+func (r *resultEmitter) send(p *sim.Proc, tuples int64) {
+	mail := r.q.coordMail
+	r.s.sendData(p, r.pe.id, r.q.coordPE, tuples, func() {
+		mail.Put(cmsg{kind: cmsgResult, tuples: tuples, from: r.pe.id})
+	})
+}
+
+// --- small helpers -----------------------------------------------------
+
+func share(total int64, parts, idx int) int64 {
+	base := total / int64(parts)
+	if int64(idx) < total%int64(parts) {
+		base++
+	}
+	return base
+}
+
+func selTuples(n int64, sel float64) int64 {
+	if sel <= 0 {
+		return 0
+	}
+	if sel >= 1 {
+		return n
+	}
+	t := int64(float64(n)*sel + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func pagesFor(tuples int64, blocking int) int64 {
+	if tuples <= 0 {
+		return 0
+	}
+	return (tuples + int64(blocking) - 1) / int64(blocking)
+}
+
+func dataDiskFor(pe *PE, page int64) int {
+	return int(page % int64(pe.disks.NDisks()))
+}
+
+// clampMinSpace bounds a join process's minimal working space by half the
+// node's buffer: on very small buffers PPHJ runs with fewer, larger
+// partitions instead of demanding more memory than a node can ever grant.
+func clampMinSpace(parts, bufferPages int) int {
+	cap := bufferPages / 2
+	if cap < 1 {
+		cap = 1
+	}
+	if parts > cap {
+		return cap
+	}
+	if parts < 1 {
+		return 1
+	}
+	return parts
+}

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynlb/internal/config"
+	"dynlb/internal/sim"
+)
+
+// startReporters launches the periodic utilization reports every PE sends
+// to the control node (Section 3: "a designated control node is
+// periodically informed by the processors about their current utilization").
+func (s *System) startReporters() {
+	for _, pe := range s.pes {
+		pe := pe
+		// Stagger first reports across the interval to avoid a thundering
+		// herd at the control node.
+		offset := sim.Duration(int64(pe.id)) * s.cfg.ReportInterval / sim.Duration(s.cfg.NPE)
+		s.k.SpawnAt(offset, fmt.Sprintf("pe%d/reporter", pe.id), func(p *sim.Proc) {
+			for {
+				p.Wait(s.cfg.ReportInterval)
+				u := pe.cpuSince()
+				free := pe.buf.AvailNonQuery()
+				peID := pe.id
+				s.sendCtl(p, pe.id, s.ctrlPE, func() {
+					s.k.Spawn("ctrl-report", func(cp *sim.Proc) {
+						s.recvCtlCPU(cp, s.ctrlPE)
+						s.ctrl.Report(peID, u, free)
+					})
+				})
+			}
+		})
+	}
+}
+
+// startWorkload launches the arrival processes.
+func (s *System) startWorkload() {
+	c := &s.cfg
+	if c.JoinQPSPerPE > 0 {
+		rate := c.JoinQPSPerPE * float64(c.NPE) // queries per second
+		s.k.Spawn("join-arrivals", func(p *sim.Proc) {
+			for {
+				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
+				coord := s.rng.Intn(c.NPE)
+				arrival := s.k.Now()
+				s.k.Spawn("join-coord", func(qp *sim.Proc) {
+					s.runJoinQuery(qp, coord, arrival)
+				})
+			}
+		})
+	} else {
+		// Single-user mode: a closed loop running one query at a time.
+		s.k.Spawn("join-single-user", func(p *sim.Proc) {
+			for {
+				coord := s.rng.Intn(c.NPE)
+				s.runJoinQuery(p, coord, s.k.Now())
+			}
+		})
+	}
+	for i := range c.ScanClasses {
+		class := c.ScanClasses[i]
+		rate := class.QPSPerPE * float64(c.NPE)
+		s.k.Spawn(fmt.Sprintf("scanq-arrivals/%s", class.Name), func(p *sim.Proc) {
+			for {
+				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
+				coord := s.rng.Intn(c.NPE)
+				arrival := s.k.Now()
+				s.k.Spawn("scanq-coord", func(qp *sim.Proc) {
+					s.runScanQuery(qp, coord, class, arrival)
+				})
+			}
+		})
+	}
+	for _, peID := range s.oltpNodes() {
+		pe := s.pe(peID)
+		s.k.Spawn(fmt.Sprintf("pe%d/oltp-arrivals", peID), func(p *sim.Proc) {
+			for {
+				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / s.cfg.OLTP.TPSPerNode))
+				arrival := s.k.Now()
+				s.k.Spawn("oltp-txn", func(tp *sim.Proc) {
+					s.runOLTP(tp, pe, arrival)
+				})
+			}
+		})
+	}
+}
+
+// oltpNodes returns the PEs running the OLTP workload.
+func (s *System) oltpNodes() []int {
+	switch s.cfg.OLTP.Placement {
+	case config.OLTPOnANode:
+		return s.cfg.ANodes()
+	case config.OLTPOnBNode:
+		return s.cfg.BNodes()
+	case config.OLTPOnAll:
+		all := make([]int, s.cfg.NPE)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	default:
+		return nil
+	}
+}
+
+// Run executes the configured workload: warm-up, then the measurement
+// window, returning the aggregated results.
+func (s *System) Run() Results {
+	s.startReporters()
+	s.detector.Start()
+	s.startWorkload()
+	s.k.Run(s.cfg.Warmup)
+	s.beginMeasurement()
+	s.k.Run(s.cfg.Warmup + s.cfg.MeasureTime)
+	s.detector.Stop()
+	return s.results()
+}
+
+// Summary condenses a response-time sample.
+type Summary struct {
+	N      int
+	MeanMS float64
+	P95MS  float64
+	HW95MS float64 // 95% confidence half-width of the mean
+}
+
+// Results are the windowed metrics of one run, the quantities the paper's
+// figures report.
+type Results struct {
+	Strategy string
+	NPE      int
+
+	JoinRT Summary
+	OLTPRT Summary
+	ScanRT Summary // standalone scan query classes, if configured
+
+	AvgJoinDegree float64 // achieved degree of join parallelism
+	MeanMemWaitMS float64 // memory-queue wait per join process
+
+	CPUUtil  float64 // mean over PEs in the window
+	DiskUtil float64
+	MemUtil  float64
+	MaxCPU   float64 // hottest PE
+
+	TempIOPages int64 // temporary-file pages in the window
+	MemWaits    int64 // buffer memory-queue entries (whole run)
+	MemSteals   int64 // frame steals from working spaces (whole run)
+	StolenPages int64
+	JoinsDone   int64
+	OLTPDone    int64
+	OLTPAborts  int64 // deadlock-victim aborts (retried)
+	JoinTPS     float64
+	OLTPTPS     float64
+	Deadlocks   int64
+	PsuOpt      int
+	PsuNoIO     int
+}
+
+func (s *System) results() Results {
+	window := s.k.Now() - s.measureFrom
+	res := Results{
+		Strategy:    s.strategy.Name(),
+		NPE:         s.cfg.NPE,
+		TempIOPages: s.tempIOPages - s.tempIO0,
+		JoinsDone:   int64(s.joinRT.N()),
+		OLTPDone:    int64(s.oltpRT.N()),
+		Deadlocks:   s.detector.Victims(),
+		OLTPAborts:  s.aborts,
+		PsuOpt:      s.qinfo.PsuOpt,
+		PsuNoIO:     s.qinfo.PsuNoIO,
+	}
+	res.JoinRT = Summary{
+		N:      s.joinRT.N(),
+		MeanMS: s.joinRT.Mean(),
+		P95MS:  s.joinRT.Percentile(95),
+		HW95MS: s.joinRT.HalfWidth95(),
+	}
+	res.OLTPRT = Summary{
+		N:      s.oltpRT.N(),
+		MeanMS: s.oltpRT.Mean(),
+		P95MS:  s.oltpRT.Percentile(95),
+		HW95MS: s.oltpRT.HalfWidth95(),
+	}
+	res.ScanRT = Summary{
+		N:      s.scanRT.N(),
+		MeanMS: s.scanRT.Mean(),
+		P95MS:  s.scanRT.Percentile(95),
+		HW95MS: s.scanRT.HalfWidth95(),
+	}
+	res.AvgJoinDegree = s.degrees.Mean()
+	res.MeanMemWaitMS = s.memWaitMS.Mean()
+	if window > 0 {
+		secs := window.Seconds()
+		res.JoinTPS = float64(res.JoinsDone) / secs
+		res.OLTPTPS = float64(res.OLTPDone) / secs
+		var cpu, dsk, mem, maxCPU float64
+		for i, pe := range s.pes {
+			u := pe.cpu.UtilizationSince(s.measureFrom, s.cpuBusy0[i])
+			cpu += u
+			if u > maxCPU {
+				maxCPU = u
+			}
+			dsk += pe.disks.UtilizationSince(s.measureFrom, s.diskBusy0[i])
+			mem += pe.buf.MeanUtilization(s.measureFrom, s.memUsed0[i])
+		}
+		n := float64(len(s.pes))
+		res.CPUUtil, res.DiskUtil, res.MemUtil, res.MaxCPU = cpu/n, dsk/n, mem/n, maxCPU
+	}
+	for _, pe := range s.pes {
+		res.MemWaits += pe.buf.Waits()
+		res.MemSteals += pe.buf.Steals()
+		res.StolenPages += pe.buf.StolenPages()
+	}
+	return res
+}
+
+// String renders a one-line report.
+func (r Results) String() string {
+	return fmt.Sprintf(
+		"%-16s n=%-3d joinRT=%7.0fms (n=%d ±%.0f) deg=%4.1f cpu=%3.0f%% disk=%3.0f%% mem=%3.0f%% tempIO=%d oltpRT=%5.1fms (n=%d)",
+		r.Strategy, r.NPE, r.JoinRT.MeanMS, r.JoinRT.N, r.JoinRT.HW95MS, r.AvgJoinDegree,
+		100*r.CPUUtil, 100*r.DiskUtil, 100*r.MemUtil, r.TempIOPages, r.OLTPRT.MeanMS, r.OLTPRT.N)
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynlb/internal/buffer"
+	"dynlb/internal/config"
+	"dynlb/internal/lock"
+	"dynlb/internal/sim"
+)
+
+// Standalone scan query classes (Section 4's relation scan, clustered index
+// scan and non-clustered index scan query types): a coordinator starts one
+// scan subquery per home PE of the relation; subqueries select matching
+// tuples and stream them back; the coordinator merges and commits with the
+// read-only optimization.
+
+// runScanQuery executes one standalone scan query in the calling process.
+func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, arrival sim.Time) {
+	pe := s.pe(coordPE)
+	pe.mpl.Get(p, 1)
+	defer pe.mpl.Put(1)
+
+	s.nextQuery++
+	qid := s.nextQuery
+	txn := s.newTxnID()
+	pe.compute(p, s.cfg.Costs.InitTxn)
+
+	relSpace := int64(spaceRelA)
+	total := s.cfg.ATuples
+	homes := s.cfg.ANodes()
+	if class.OnB {
+		relSpace = spaceRelB
+		total = s.cfg.BTuples
+		homes = s.cfg.BNodes()
+	}
+
+	mail := sim.NewChan[cmsg](s.k, fmt.Sprintf("sq%d/coord", qid))
+	for i, home := range homes {
+		i, home := i, home
+		s.sendCtl(p, coordPE, home, func() {
+			s.k.Spawn(fmt.Sprintf("sq%d/scan%d", qid, i), func(sp *sim.Proc) {
+				s.runScanFragment(sp, scanFragment{
+					qid: qid, txn: txn, class: class,
+					relSpace: relSpace, total: total,
+					nodes: len(homes), fragIdx: i,
+					coordPE: coordPE, mail: mail,
+				}, s.pe(home))
+			})
+		})
+	}
+
+	for done := 0; done < len(homes); {
+		m, _ := mail.Get(p)
+		switch m.kind {
+		case cmsgScanADone:
+			s.recvCtlCPU(p, coordPE)
+			done++
+		case cmsgResult:
+			s.recvDataCPU(p, coordPE, m.tuples)
+		default:
+			panic(fmt.Sprintf("engine: sq%d unexpected %v", qid, m.kind))
+		}
+	}
+
+	// Read-only commit round releases the fragment locks.
+	for _, home := range homes {
+		home := home
+		s.sendCtl(p, coordPE, home, func() {
+			s.k.Spawn("scanq-commit", func(cp *sim.Proc) {
+				s.recvCtlCPU(cp, home)
+				s.pe(home).locks.ReleaseAll(txn)
+				s.sendCtl(cp, home, coordPE, func() {
+					mail.Put(cmsg{kind: cmsgAck, from: home})
+				})
+			})
+		})
+	}
+	for acks := 0; acks < len(homes); {
+		m, _ := mail.Get(p)
+		if m.kind != cmsgAck {
+			panic("engine: scan query commit protocol violation")
+		}
+		s.recvCtlCPU(p, coordPE)
+		acks++
+	}
+	pe.compute(p, s.cfg.Costs.TermTxn)
+
+	if s.measuring {
+		s.scanRT.Add((s.k.Now() - arrival).Milliseconds())
+	}
+}
+
+type scanFragment struct {
+	qid      int64
+	txn      lock.TxnID
+	class    config.ScanClass
+	relSpace int64
+	total    int64
+	nodes    int
+	fragIdx  int
+	coordPE  int
+	mail     *sim.Chan[cmsg]
+}
+
+// runScanFragment executes one scan subquery of a standalone scan query.
+func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
+	s.recvCtlCPU(p, pe.id)
+	c := &s.cfg
+
+	if err := pe.locks.Lock(p, f.txn, lock.Key{Space: f.relSpace, Item: 0}, lock.Shared); err != nil {
+		panic("engine: scan fragment read lock aborted")
+	}
+
+	match := share(selTuples(f.total, f.class.Selectivity), f.nodes, f.fragIdx)
+	tpp := c.TuplesPerPacket()
+
+	if f.class.Clustered {
+		// Matching pages are contiguous: sequential reads with prefetch,
+		// one result packet per filled buffer.
+		var pageCursor, buf int64
+		for remaining := match; remaining > 0; {
+			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-500_000, pageCursor)
+			if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
+				pe.compute(p, c.Costs.IO)
+			}
+			pageCursor++
+			n := int64(c.Blocking)
+			if remaining < n {
+				n = remaining
+			}
+			remaining -= n
+			pe.compute(p, n*(c.Costs.ReadTuple+c.Costs.WriteTuple))
+			buf += n
+			for buf >= tpp {
+				buf -= tpp
+				s.sendResult(p, pe, f, tpp)
+			}
+		}
+		if buf > 0 {
+			s.sendResult(p, pe, f, buf)
+		}
+	} else {
+		// Non-clustered index: an index descent (upper levels resident)
+		// plus one random data page access per matching tuple, through the
+		// buffer (repeated hits on hot pages are free).
+		fragPages := pagesFor(share(f.total, f.nodes, f.fragIdx), c.Blocking)
+		if fragPages < 1 {
+			fragPages = 1
+		}
+		var buf int64
+		for i := int64(0); i < match; i++ {
+			pe.compute(p, 3*c.Costs.ReadTuple) // B+-tree descent, resident
+			page := (i*2654435761 + int64(f.qid)) % fragPages
+			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-700_000, page)
+			pe.buf.Fix(p, pg, false, false, buffer.PriorityQuery)
+			pe.compute(p, c.Costs.ReadTuple+c.Costs.WriteTuple)
+			pe.buf.Unfix(pg)
+			buf++
+			if buf == tpp {
+				buf = 0
+				s.sendResult(p, pe, f, tpp)
+			}
+		}
+		if buf > 0 {
+			s.sendResult(p, pe, f, buf)
+		}
+	}
+
+	s.sendCtl(p, pe.id, f.coordPE, func() {
+		f.mail.Put(cmsg{kind: cmsgScanADone, from: pe.id})
+	})
+}
+
+func (s *System) sendResult(p *sim.Proc, pe *PE, f scanFragment, tuples int64) {
+	pe.compute(p, 0) // WriteTuple already charged per tuple above
+	mail := f.mail
+	s.sendData(p, pe.id, f.coordPE, tuples, func() {
+		mail.Put(cmsg{kind: cmsgResult, tuples: tuples, from: pe.id})
+	})
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+	"dynlb/internal/sim"
+)
+
+func TestInitWeightsNormalized(t *testing.T) {
+	cfg := config.Default()
+	cfg.RedistributionSkew = 1.0
+	s := MustNew(cfg, core.MustByName("psu-opt+RANDOM"))
+	q := &joinQuery{s: s}
+	q.joinMail = make([]*sim.Chan[jmsg], 8)
+	q.initWeights(8)
+	if q.weights == nil {
+		t.Fatal("weights not initialized")
+	}
+	var sum float64
+	for i := 1; i < len(q.weights); i++ {
+		if q.weights[i] > q.weights[i-1] {
+			t.Errorf("weights not decreasing: %v", q.weights)
+		}
+	}
+	for _, w := range q.weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// Zipf-1 over 8: first share is about 2.9x the uniform share.
+	if q.weights[0] < 2*q.weights[7] {
+		t.Errorf("skew too weak: first=%v last=%v", q.weights[0], q.weights[7])
+	}
+}
+
+func TestNoSkewMeansNilWeights(t *testing.T) {
+	cfg := config.Default()
+	s := MustNew(cfg, core.MustByName("psu-opt+RANDOM"))
+	q := &joinQuery{s: s}
+	q.initWeights(8)
+	if q.weights != nil {
+		t.Error("weights allocated without skew")
+	}
+}
+
+func TestExpectedShareSkewed(t *testing.T) {
+	cfg := config.Default()
+	cfg.RedistributionSkew = 1.0
+	s := MustNew(cfg, core.MustByName("psu-opt+RANDOM"))
+	q := &joinQuery{s: s}
+	q.joinMail = make([]*sim.Chan[jmsg], 4)
+	q.initWeights(4)
+	first := q.expectedShare(1000, 0)
+	last := q.expectedShare(1000, 3)
+	if first <= last {
+		t.Errorf("skewed shares: first=%d last=%d", first, last)
+	}
+	var total int64
+	for i := 0; i < 4; i++ {
+		total += q.expectedShare(1000, i)
+	}
+	if total < 990 || total > 1000 {
+		t.Errorf("shares sum to %d of 1000", total)
+	}
+}
+
+func TestSkewedRunCompletesAndCostsMore(t *testing.T) {
+	run := func(skew float64) Results {
+		cfg := config.Default()
+		cfg.NPE = 20
+		cfg.JoinQPSPerPE = 0.15
+		cfg.RedistributionSkew = skew
+		cfg.Warmup = 2 * sim.Second
+		cfg.MeasureTime = 12 * sim.Second
+		return MustNew(cfg, core.MustByName("pmu-cpu+LUM")).Run()
+	}
+	uniform := run(0)
+	skewed := run(1.0)
+	if skewed.JoinsDone == 0 {
+		t.Fatal("skewed run completed no joins")
+	}
+	// Skew concentrates work on few join processes: response times must
+	// not improve, and typically worsen markedly.
+	if skewed.JoinRT.MeanMS < uniform.JoinRT.MeanMS*0.9 {
+		t.Errorf("skewed run faster than uniform: %.0f vs %.0f ms",
+			skewed.JoinRT.MeanMS, uniform.JoinRT.MeanMS)
+	}
+}
+
+func TestSkewValidation(t *testing.T) {
+	cfg := config.Default()
+	cfg.RedistributionSkew = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative skew accepted")
+	}
+	cfg.RedistributionSkew = 2.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("excessive skew accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package lock
+
+import (
+	"sort"
+
+	"dynlb/internal/sim"
+)
+
+// Detector implements the paper's central deadlock detection scheme: a
+// designated node periodically collects the waits-for relationships of all
+// lock tables, searches the combined graph for cycles and aborts the
+// youngest transaction of each cycle found.
+type Detector struct {
+	k        *sim.Kernel
+	tables   []*Table
+	interval sim.Duration
+	victims  int64
+	stopped  bool
+}
+
+// NewDetector creates a detector scanning at the given interval.
+func NewDetector(k *sim.Kernel, interval sim.Duration) *Detector {
+	return &Detector{k: k, interval: interval}
+}
+
+// Register adds a PE's lock table to the global scan.
+func (d *Detector) Register(t *Table) { d.tables = append(d.tables, t) }
+
+// Victims returns the number of transactions aborted so far.
+func (d *Detector) Victims() int64 { return d.victims }
+
+// Start launches the periodic scan process.
+func (d *Detector) Start() {
+	d.k.Spawn("deadlock-detector", func(p *sim.Proc) {
+		for !d.stopped {
+			p.Wait(d.interval)
+			d.ScanOnce()
+		}
+	})
+}
+
+// Stop ends the periodic scan after the current sleep.
+func (d *Detector) Stop() { d.stopped = true }
+
+// ScanOnce builds the waits-for graph and aborts one victim per cycle.
+// It returns the victims aborted in this scan.
+func (d *Detector) ScanOnce() []TxnID {
+	edges := make(map[TxnID][]TxnID)
+	for _, t := range d.tables {
+		t.WaitsFor(edges)
+	}
+	var victims []TxnID
+	for {
+		cycle := findCycle(edges)
+		if len(cycle) == 0 {
+			break
+		}
+		// Victim: the youngest transaction (largest ID) in the cycle.
+		victim := cycle[0]
+		for _, txn := range cycle {
+			if txn > victim {
+				victim = txn
+			}
+		}
+		victims = append(victims, victim)
+		d.victims++
+		for _, t := range d.tables {
+			t.Abort(victim)
+		}
+		delete(edges, victim)
+		for w, hs := range edges {
+			out := hs[:0]
+			for _, h := range hs {
+				if h != victim {
+					out = append(out, h)
+				}
+			}
+			edges[w] = out
+		}
+	}
+	return victims
+}
+
+// findCycle returns the transactions of one cycle in the waits-for graph,
+// or nil. Iteration order is made deterministic by sorting the nodes.
+func findCycle(edges map[TxnID][]TxnID) []TxnID {
+	nodes := make([]TxnID, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[TxnID]int)
+	parent := make(map[TxnID]TxnID)
+
+	var cycle []TxnID
+	var dfs func(n TxnID) bool
+	dfs = func(n TxnID) bool {
+		color[n] = grey
+		next := append([]TxnID(nil), edges[n]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, m := range next {
+			switch color[m] {
+			case white:
+				parent[m] = n
+				if dfs(m) {
+					return true
+				}
+			case grey:
+				// Found a cycle m -> ... -> n -> m.
+				cycle = append(cycle, m)
+				for v := n; v != m; v = parent[v] {
+					cycle = append(cycle, v)
+				}
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package pphj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumPartitions(t *testing.T) {
+	cases := []struct {
+		pages int64
+		fudge float64
+		want  int
+	}{
+		{0, 1.05, 1},
+		{1, 1.05, 2},   // ceil(sqrt(1.05))
+		{100, 1.0, 10}, // sqrt(100)
+		{131, 1.05, 12},
+		{656, 1.05, 27},
+	}
+	for _, c := range cases {
+		if got := NumPartitions(c.pages, c.fudge); got != c.want {
+			t.Errorf("NumPartitions(%d, %v) = %d, want %d", c.pages, c.fudge, got, c.want)
+		}
+	}
+}
+
+func TestNewCapsPartitionsByMemory(t *testing.T) {
+	j := New(100, 1.0, 20, 5) // ideal 10 partitions, memory allows 5
+	if j.NParts() != 5 {
+		t.Errorf("nParts=%d, want capped to 5", j.NParts())
+	}
+	if j.MinPages() != 5 {
+		t.Errorf("minPages=%d", j.MinPages())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("memPages < 1 did not panic")
+		}
+	}()
+	New(100, 1.0, 20, 0)
+}
+
+func TestAllInMemoryNoSpill(t *testing.T) {
+	// 100 inner pages = 2000 tuples, memory 110 >= fudge*100
+	j := New(100, 1.05, 20, 110)
+	if w := j.Build(2000); w != 0 {
+		t.Errorf("in-memory build wrote %d pages", w)
+	}
+	j.EndBuild()
+	direct, spilled, w := j.Probe(8000)
+	if spilled != 0 || w != 0 {
+		t.Errorf("in-memory probe spilled %d tuples, %d pages", spilled, w)
+	}
+	if direct != 8000 {
+		t.Errorf("direct=%d, want 8000", direct)
+	}
+	if len(j.DeferredPlan()) != 0 {
+		t.Errorf("deferred plan non-empty: %v", j.DeferredPlan())
+	}
+	if j.Flushes() != 0 {
+		t.Errorf("flushes=%d", j.Flushes())
+	}
+}
+
+func TestMemoryPressureFlushesPartitions(t *testing.T) {
+	// 100 inner pages but only half the memory: roughly half the
+	// partitions must flush.
+	j := New(100, 1.0, 20, 55)
+	w := j.Build(2000)
+	if w == 0 {
+		t.Fatal("overcommitted build wrote nothing")
+	}
+	if j.Flushes() == 0 {
+		t.Fatal("no partitions flushed")
+	}
+	if j.ResidentHashPages() > 55 {
+		t.Errorf("resident pages %d exceed memory 55", j.ResidentHashPages())
+	}
+	j.EndBuild()
+	direct, spilled, _ := j.Probe(8000)
+	if spilled == 0 {
+		t.Error("no probe tuples spilled despite non-resident partitions")
+	}
+	if direct == 0 {
+		t.Error("no direct probes despite resident partitions")
+	}
+	// Deferred plan covers exactly the non-resident partitions.
+	plan := j.DeferredPlan()
+	nonRes := j.NParts() - j.ResidentParts()
+	if len(plan) != nonRes {
+		t.Errorf("deferred plan %d entries, want %d", len(plan), nonRes)
+	}
+	var defA, defB int64
+	for _, d := range plan {
+		defA += d.ATuples
+		defB += d.BTuples
+	}
+	if defB != spilled {
+		t.Errorf("deferred B tuples %d != spilled %d", defB, spilled)
+	}
+	if defA == 0 {
+		t.Error("deferred plan without inner tuples")
+	}
+}
+
+func TestTupleConservationThroughProbe(t *testing.T) {
+	j := New(100, 1.0, 20, 60)
+	j.Build(2000)
+	j.EndBuild()
+	var direct, spilled int64
+	for i := 0; i < 10; i++ {
+		d, s, _ := j.Probe(800)
+		direct += d
+		spilled += s
+	}
+	if direct+spilled != 8000 {
+		t.Errorf("direct %d + spilled %d != 8000", direct, spilled)
+	}
+	if direct != j.DirectProbes() || spilled != j.SpilledProbes() {
+		t.Errorf("stats mismatch: %d/%d vs %d/%d", direct, spilled, j.DirectProbes(), j.SpilledProbes())
+	}
+}
+
+func TestSetMemShrinkFlushes(t *testing.T) {
+	j := New(100, 1.0, 20, 110)
+	j.Build(2000)
+	if j.Flushes() != 0 {
+		t.Fatal("unexpected early flush")
+	}
+	w := j.SetMem(40) // steal 70 pages
+	if w == 0 {
+		t.Fatal("shrink wrote nothing")
+	}
+	if j.ResidentHashPages() > 40 {
+		t.Errorf("resident %d > 40 after shrink", j.ResidentHashPages())
+	}
+	if j.MemPages() != 40 {
+		t.Errorf("memPages=%d", j.MemPages())
+	}
+}
+
+func TestSetMemClampsToMinimum(t *testing.T) {
+	j := New(100, 1.0, 20, 20)
+	j.SetMem(1)
+	if j.MemPages() != j.MinPages() {
+		t.Errorf("memPages=%d, want clamped to min %d", j.MemPages(), j.MinPages())
+	}
+}
+
+func TestReviveBringsPartitionsBack(t *testing.T) {
+	j := New(100, 1.0, 20, 40)
+	j.Build(2000) // flushes most partitions
+	nonResBefore := j.NParts() - j.ResidentParts()
+	if nonResBefore == 0 {
+		t.Fatal("setup: nothing flushed")
+	}
+	j.SetMem(110)
+	read := j.Revive()
+	if read == 0 {
+		t.Fatal("revive read nothing")
+	}
+	if j.ResidentParts() != j.NParts() {
+		t.Errorf("resident %d/%d after full revive", j.ResidentParts(), j.NParts())
+	}
+	if j.Revivals() != int64(nonResBefore) {
+		t.Errorf("revivals=%d, want %d", j.Revivals(), nonResBefore)
+	}
+	// Future probes are all direct now.
+	j.EndBuild()
+	_, spilled, _ := j.Probe(1000)
+	if spilled != 0 {
+		t.Errorf("spilled %d after full revive", spilled)
+	}
+}
+
+func TestReviveRespectsMemory(t *testing.T) {
+	j := New(100, 1.0, 20, 40)
+	j.Build(2000)
+	j.SetMem(45) // tiny growth: at most one small partition revives
+	j.Revive()
+	if j.ResidentHashPages() > 45 {
+		t.Errorf("revive overcommitted: %d > 45", j.ResidentHashPages())
+	}
+}
+
+func TestSpilledBeforeRevivalStaysDeferred(t *testing.T) {
+	j := New(100, 1.0, 20, 40)
+	j.Build(2000)
+	j.EndBuild()
+	_, spilledEarly, _ := j.Probe(4000)
+	if spilledEarly == 0 {
+		t.Fatal("setup: nothing spilled")
+	}
+	j.SetMem(110)
+	j.Revive()
+	_, spilledLate, _ := j.Probe(4000)
+	if spilledLate != 0 {
+		t.Errorf("spilled %d after revive", spilledLate)
+	}
+	var defB int64
+	for _, d := range j.DeferredPlan() {
+		defB += d.BTuples
+	}
+	if defB != spilledEarly {
+		t.Errorf("deferred B %d != early spills %d", defB, spilledEarly)
+	}
+}
+
+func TestBuildAfterEndBuildPanics(t *testing.T) {
+	j := New(10, 1.0, 20, 12)
+	j.EndBuild()
+	defer func() {
+		if recover() == nil {
+			t.Error("Build after EndBuild did not panic")
+		}
+	}()
+	j.Build(10)
+}
+
+func TestDistributionEven(t *testing.T) {
+	j := New(100, 1.0, 20, 110)
+	// 7 batches of 13 tuples across 10 partitions: max-min <= 1 overall
+	for i := 0; i < 7; i++ {
+		j.Build(13)
+	}
+	var minT, maxT int64 = 1 << 62, -1
+	for _, c := range j.aTuples {
+		if c < minT {
+			minT = c
+		}
+		if c > maxT {
+			maxT = c
+		}
+	}
+	if maxT-minT > 1 {
+		t.Errorf("round-robin skewed: min=%d max=%d (%v)", minT, maxT, j.aTuples)
+	}
+}
+
+// Property: resident hash pages never exceed the working space, and probe
+// tuple conservation holds, under arbitrary operation sequences.
+func TestQuickInvariants(t *testing.T) {
+	f := func(ops []uint16, memRaw uint8) bool {
+		mem := int(memRaw)%100 + 15
+		j := New(100, 1.05, 20, mem)
+		var direct, spilled, probed int64
+		building := true
+		for _, op := range ops {
+			kind := op % 4
+			n := int64(op%97) + 1
+			switch kind {
+			case 0:
+				if building {
+					j.Build(n)
+				}
+			case 1:
+				if building {
+					j.EndBuild()
+					building = false
+				}
+				d, s, _ := j.Probe(n)
+				direct += d
+				spilled += s
+				probed += n
+			case 2:
+				j.SetMem(int(op%120) + 1)
+			case 3:
+				j.Revive()
+			}
+			if j.ResidentHashPages() > int64(j.MemPages()) {
+				return false
+			}
+		}
+		return direct+spilled == probed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total temporary write pages grow monotonically and deferred
+// B pages equal ceil(spilled/blocking) summed per partition.
+func TestQuickDeferredConsistency(t *testing.T) {
+	f := func(batches []uint8, memRaw uint8) bool {
+		mem := int(memRaw)%60 + 15
+		j := New(100, 1.0, 20, mem)
+		j.Build(2000)
+		j.EndBuild()
+		var spilled int64
+		for _, b := range batches {
+			_, s, _ := j.Probe(int64(b))
+			spilled += s
+		}
+		var defB int64
+		for _, d := range j.DeferredPlan() {
+			defB += d.BTuples
+			if d.BPages < (d.BTuples+19)/20 {
+				return false
+			}
+		}
+		return defB == spilled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+// Chan is an unbounded FIFO mailbox between processes. Put never blocks;
+// Get blocks the calling process until an item is available. Waiting readers
+// are served FCFS. Chan carries operator data flow (e.g. redistributed
+// tuples arriving at a join process) and control signals.
+type Chan[T any] struct {
+	k       *Kernel
+	name    string
+	buf     []T
+	readers []*Proc
+	puts    int64
+	closed  bool
+}
+
+// NewChan creates an empty mailbox.
+func NewChan[T any](k *Kernel, name string) *Chan[T] {
+	return &Chan[T]{k: k, name: name}
+}
+
+// Name returns the mailbox name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Len returns the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Puts returns the total number of items ever put.
+func (c *Chan[T]) Puts() int64 { return c.puts }
+
+// Put appends v and wakes the longest-waiting reader, if any.
+// It may be called from kernel or process context.
+func (c *Chan[T]) Put(v T) {
+	if c.closed {
+		panic("sim: put on closed Chan " + c.name)
+	}
+	c.puts++
+	c.buf = append(c.buf, v)
+	c.wakeOne()
+}
+
+// Close marks the channel closed. Blocked and future Gets return the zero
+// value with ok=false once the buffer drains.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for len(c.readers) > 0 {
+		c.wakeOne()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+func (c *Chan[T]) wakeOne() {
+	if len(c.readers) == 0 {
+		return
+	}
+	r := c.readers[0]
+	copy(c.readers, c.readers[1:])
+	c.readers[len(c.readers)-1] = nil
+	c.readers = c.readers[:len(c.readers)-1]
+	r.unpark()
+}
+
+// Get removes and returns the head item, blocking while the mailbox is
+// empty. ok is false iff the channel is closed and drained.
+func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
+	for len(c.buf) == 0 {
+		if c.closed {
+			return v, false
+		}
+		c.readers = append(c.readers, p)
+		c.k.blocked++
+		p.park()
+		c.k.blocked--
+	}
+	v = c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	if len(c.buf) == 0 {
+		c.buf = nil
+	}
+	return v, true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (c *Chan[T]) TryGet() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Barrier counts down from n; processes calling Wait block until Done has
+// been called n times. It implements phase synchronization (e.g. "all scan
+// subqueries finished, start probing").
+type Barrier struct {
+	k       *Kernel
+	name    string
+	pending int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier expecting n Done calls.
+func NewBarrier(k *Kernel, name string, n int) *Barrier {
+	return &Barrier{k: k, name: name, pending: n}
+}
+
+// Done decrements the barrier count; at zero all waiters are released.
+func (b *Barrier) Done() {
+	b.pending--
+	if b.pending < 0 {
+		panic("sim: barrier " + b.name + " over-released")
+	}
+	if b.pending == 0 {
+		for _, p := range b.waiters {
+			p.unpark()
+		}
+		b.waiters = nil
+	}
+}
+
+// Add increases the expected Done count (only valid before release).
+func (b *Barrier) Add(n int) {
+	if b.pending == 0 {
+		panic("sim: barrier " + b.name + " add after release")
+	}
+	b.pending += n
+}
+
+// Wait blocks p until the barrier count reaches zero.
+func (b *Barrier) Wait(p *Proc) {
+	if b.pending == 0 {
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	b.k.blocked++
+	p.park()
+	b.k.blocked--
+}
+
+// Pending returns the remaining Done count.
+func (b *Barrier) Pending() int { return b.pending }

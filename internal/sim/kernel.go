@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a calendar entry: at time t, run fn in kernel context.
+// fn must never block; blocking work belongs in processes.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+// calendar is a min-heap of events ordered by (time, sequence).
+type calendar []*event
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].t != c[j].t {
+		return c[i].t < c[j].t
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x any)   { *c = append(*c, x.(*event)) }
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	return e
+}
+
+// Kernel owns the simulated clock and the event calendar and drives all
+// processes. A Kernel and everything attached to it must be used from a
+// single OS-level goroutine (the one that calls Run); process goroutines are
+// scheduled by the kernel itself and never run concurrently with it.
+type Kernel struct {
+	now     Time
+	seq     int64
+	cal     calendar
+	yield   chan struct{}
+	running bool
+	live    int // processes spawned and not yet finished
+	blocked int // processes parked on a resource or mailbox
+	procSeq int64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Live reports the number of processes that have been spawned and have not
+// yet returned.
+func (k *Kernel) Live() int { return k.live }
+
+// Blocked reports the number of processes currently parked waiting for a
+// resource, store or mailbox (not those sleeping on the calendar).
+func (k *Kernel) Blocked() int { return k.blocked }
+
+// At schedules fn to run in kernel context at absolute time t.
+// It panics if t is in the simulated past.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.cal, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d from now.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events in timestamp order until the calendar is empty or the
+// clock would pass until. It returns the simulated time at which it stopped.
+// Events exactly at until are executed. Run may be called repeatedly with
+// increasing horizons.
+func (k *Kernel) Run(until Time) Time {
+	if k.running {
+		panic("sim: Kernel.Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.cal) > 0 {
+		next := k.cal[0]
+		if next.t > until {
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.cal)
+		k.now = next.t
+		next.fn()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return k.now
+}
+
+// RunAll executes events until the calendar is empty, leaving the clock at
+// the time of the last event executed.
+func (k *Kernel) RunAll() Time {
+	if k.running {
+		panic("sim: Kernel.Run re-entered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.cal) > 0 {
+		e := heap.Pop(&k.cal).(*event)
+		k.now = e.t
+		e.fn()
+	}
+	return k.now
+}
+
+// Pending reports the number of scheduled calendar events.
+func (k *Kernel) Pending() int { return len(k.cal) }

@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Proc is the handle a simulated process uses to interact with the kernel.
+// A process is an ordinary function running on its own goroutine; every
+// blocking operation (Wait, Server.Use, Store.Get, Chan.Get, ...) suspends
+// the goroutine and returns control to the kernel, which resumes it when the
+// corresponding event fires. Exactly one process runs at any instant.
+type Proc struct {
+	k      *Kernel
+	id     int64
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn creates a process named name running fn and schedules its start at
+// the current simulated time. It returns immediately; fn runs when the
+// kernel reaches the start event.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process whose execution starts at absolute time t.
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	k.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		k.yield <- struct{}{}
+	}()
+	k.At(t, func() { k.step(p) })
+	return p
+}
+
+// step transfers control to p until it parks or finishes.
+func (k *Kernel) step(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+	if p.done {
+		k.live--
+	}
+}
+
+// park suspends the calling process until the kernel resumes it. The caller
+// must already have arranged for a future k.step(p) (via an event or a
+// resource queue).
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules p to resume at the current simulated time. It must be
+// called from kernel context (an event function or another process's turn).
+func (p *Proc) unpark() {
+	p.k.At(p.k.now, func() { p.k.step(p) })
+}
+
+// Park suspends the calling process until another component calls Unpark.
+// It is the extension point for custom blocking primitives outside package
+// sim (lock tables, buffer memory queues, ...). The caller must have
+// registered itself somewhere an Unpark will find it.
+func (p *Proc) Park() {
+	p.k.blocked++
+	p.park()
+	p.k.blocked--
+}
+
+// Unpark schedules a process parked via Park to resume at the current
+// simulated time. Calling it for a process that is not parked is a bug the
+// kernel will surface as a double-resume panic.
+func (p *Proc) Unpark() { p.unpark() }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id (assigned in spawn order).
+func (p *Proc) ID() int64 { return p.id }
+
+// Wait suspends the process for d of simulated time.
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q waiting negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, func() { p.k.step(p) })
+	p.park()
+}
+
+// WaitUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.Wait(t - p.k.now)
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerSingleExclusive(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "disk", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("u", func(p *Proc) {
+			srv.Use(p, 10*Millisecond)
+			done = append(done, p.Now())
+		})
+	}
+	k.RunAll()
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerMultiCapacityParallel(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "cpu", 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		k.Spawn("u", func(p *Proc) {
+			srv.Use(p, 10*Millisecond)
+			done = append(done, p.Now())
+		})
+	}
+	k.RunAll()
+	// two at a time: finish at 10,10,20,20
+	want := []Time{10 * Millisecond, 10 * Millisecond, 20 * Millisecond, 20 * Millisecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerFCFSOrder(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.SpawnAt(Time(i)*Microsecond, "u", func(p *Proc) {
+			srv.Use(p, 1*Millisecond)
+			order = append(order, i)
+		})
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v not FCFS", order)
+		}
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	k.Spawn("u", func(p *Proc) { srv.Use(p, 30*Millisecond) })
+	k.Run(60 * Millisecond)
+	u := srv.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestServerUtilizationMultiCap(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 4)
+	// one of four servers busy the whole time => 25%
+	k.Spawn("u", func(p *Proc) { srv.Use(p, 100*Millisecond) })
+	k.Run(100 * Millisecond)
+	u := srv.Utilization()
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestServerUtilizationSinceWindow(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	// busy [0,50ms], idle [50,100ms]
+	k.Spawn("u", func(p *Proc) { srv.Use(p, 50*Millisecond) })
+	k.Run(50 * Millisecond)
+	mark := srv.BusyIntegral()
+	from := k.Now()
+	k.Run(100 * Millisecond)
+	u := srv.UtilizationSince(from, mark)
+	if u != 0 {
+		t.Fatalf("post-warmup utilization = %v, want 0", u)
+	}
+}
+
+func TestServerAcquireReleaseBracket(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	var second Time
+	k.Spawn("a", func(p *Proc) {
+		srv.Acquire(p)
+		p.Wait(5 * Millisecond)
+		p.Wait(5 * Millisecond)
+		srv.Release()
+	})
+	k.Spawn("b", func(p *Proc) {
+		srv.Acquire(p)
+		second = p.Now()
+		srv.Release()
+	})
+	k.RunAll()
+	if second != 10*Millisecond {
+		t.Fatalf("second acquire at %v, want 10ms", second)
+	}
+}
+
+func TestServerReleaseUnderflowPanics(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release below zero did not panic")
+		}
+	}()
+	srv.Release()
+}
+
+func TestServerQueueAndWaitStats(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	for i := 0; i < 3; i++ {
+		k.Spawn("u", func(p *Proc) { srv.Use(p, 10*Millisecond) })
+	}
+	k.RunAll()
+	if srv.Served() != 3 {
+		t.Errorf("served=%d, want 3", srv.Served())
+	}
+	// waits: 0, 10ms, 20ms over 3 grants => mean 10ms
+	if srv.MeanWait() != 10*Millisecond {
+		t.Errorf("mean wait = %v, want 10ms", srv.MeanWait())
+	}
+	if srv.MeanQueueLen() <= 0 {
+		t.Errorf("mean queue len = %v, want > 0", srv.MeanQueueLen())
+	}
+}
+
+func TestServerBlockedCount(t *testing.T) {
+	k := NewKernel()
+	srv := NewServer(k, "s", 1)
+	k.Spawn("hold", func(p *Proc) {
+		srv.Acquire(p)
+		p.Wait(10 * Millisecond)
+		if k.Blocked() != 1 {
+			t.Errorf("blocked=%d mid-hold, want 1", k.Blocked())
+		}
+		srv.Release()
+	})
+	k.Spawn("wait", func(p *Proc) { srv.Use(p, Millisecond) })
+	k.RunAll()
+	if k.Blocked() != 0 {
+		t.Errorf("blocked=%d at end, want 0", k.Blocked())
+	}
+}
+
+// Property: with a single server, total completion time of n jobs equals the
+// sum of their service demands (work conservation), and utilization is the
+// busy fraction.
+func TestQuickServerWorkConservation(t *testing.T) {
+	f := func(demands []uint8) bool {
+		if len(demands) == 0 {
+			return true
+		}
+		k := NewKernel()
+		srv := NewServer(k, "s", 1)
+		var sum Time
+		for _, d := range demands {
+			dd := Duration(int(d)+1) * Microsecond
+			sum += dd
+			k.Spawn("u", func(p *Proc) { srv.Use(p, dd) })
+		}
+		end := k.RunAll()
+		return end == sum && srv.Served() == int64(len(demands))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
