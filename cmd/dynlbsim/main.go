@@ -16,9 +16,16 @@ import (
 	"strings"
 
 	"dynlb"
+	"dynlb/internal/prof"
 )
 
 func main() {
+	// All failure paths after flag validation return through run so the
+	// deferred CPU-profile flush still happens.
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
 		strategy = flag.String("strategy", "OPT-IO-CPU", "load balancing strategy (see -list)")
 		npe      = flag.Int("npe", 40, "number of processing elements")
@@ -32,6 +39,7 @@ func main() {
 		warmup   = flag.Float64("warmup", 3, "warm-up in simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -40,7 +48,7 @@ func main() {
 		for _, n := range dynlb.StrategyNames() {
 			fmt.Println("  " + n)
 		}
-		return
+		return 0
 	}
 
 	cfg := dynlb.DefaultConfig()
@@ -64,13 +72,29 @@ func main() {
 		cfg.OLTP.Placement = dynlb.OLTPOnAll
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -oltp %q\n", *oltp)
-		os.Exit(2)
+		return 2
 	}
 
 	st, err := dynlb.StrategyByName(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		stop, err := prof.Start(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	fmt.Printf("dynlb: %d PEs, strategy %s, join %.3f QPS/PE, selectivity %.2f%%, OLTP %s\n",
@@ -80,7 +104,7 @@ func main() {
 	res, err := dynlb.Run(cfg, st)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Println()
@@ -101,4 +125,5 @@ func main() {
 	if res.Deadlocks > 0 {
 		fmt.Printf("deadlocks:      %d transactions aborted\n", res.Deadlocks)
 	}
+	return 0
 }

@@ -1,12 +1,16 @@
 // Command experiments regenerates the evaluation figures of Rahm & Marek
 // (VLDB '95) with this library's simulator, printing one aligned table per
-// figure (and optionally CSV for plotting).
+// figure (and optionally CSV for plotting). Independent sweep points run on
+// a worker pool (-parallel); results are bit-identical at any parallelism
+// level because every point simulates on its own kernel and RNG.
 //
 // Examples:
 //
-//	experiments -fig 5            # reproduce Fig. 5 at normal scale
+//	experiments -fig 5                      # reproduce Fig. 5 at normal scale
 //	experiments -fig all -scale quick
 //	experiments -fig 9b -scale full -csv fig9b.csv
+//	experiments -fig all -parallel 1        # sequential (for timing baselines)
+//	experiments -fig 6 -cpuprofile cpu.out  # profile the simulator hot path
 package main
 
 import (
@@ -14,19 +18,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
 	"dynlb"
+	"dynlb/internal/prof"
 )
 
 func main() {
+	// All failure paths return through run so deferred cleanup — most
+	// importantly flushing the CPU profile trailer — still happens.
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
-		scale = flag.String("scale", "normal", "simulation scale: quick, normal, full")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csvF  = flag.String("csv", "", "also write rows to this CSV file")
+		fig      = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
+		scale    = flag.String("scale", "normal", "simulation scale: quick, normal, full")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvF     = flag.String("csv", "", "also write rows to this CSV file")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -40,7 +54,23 @@ func main() {
 		sc = dynlb.ScaleFull
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		stop, err := prof.Start(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	figs := []string{*fig}
@@ -51,10 +81,10 @@ func main() {
 	var all []dynlb.Row
 	for _, f := range figs {
 		start := time.Now()
-		rows, err := dynlb.RunFigure(f, sc, *seed)
+		rows, err := dynlb.RunFigureParallel(f, sc, *seed, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(dynlb.FormatRows(rows))
 		fmt.Printf("(figure %s: %d rows in %.1fs wall time)\n\n", f, len(rows), time.Since(start).Seconds())
@@ -64,20 +94,26 @@ func main() {
 	if *csvF != "" {
 		if err := writeCSV(*csvF, all); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %d rows to %s\n", len(all), *csvF)
 	}
+	return 0
 }
 
-func writeCSV(path string, rows []dynlb.Row) error {
+func writeCSV(path string, rows []dynlb.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A flush or close failure (ENOSPC, quota, NFS) must not yield a
+	// silently truncated file and exit code 0.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := csv.NewWriter(f)
-	defer w.Flush()
 
 	keys := map[string]bool{}
 	for _, r := range rows {
@@ -115,5 +151,6 @@ func writeCSV(path string, rows []dynlb.Row) error {
 			return err
 		}
 	}
-	return nil
+	w.Flush()
+	return w.Error()
 }

@@ -2,7 +2,10 @@ package dynlb
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dynlb/internal/config"
 	"dynlb/internal/core"
@@ -83,30 +86,112 @@ func FigureDoc(fig string) string {
 }
 
 // RunFigure regenerates one of the paper's figures at the given scale and
-// seed, returning the measured rows in deterministic order.
+// seed, returning the measured rows in deterministic order. It runs the
+// sweep's simulation points sequentially; use RunFigureParallel to spread
+// them over a worker pool.
 func RunFigure(fig string, scale Scale, seed int64) ([]Row, error) {
+	return RunFigureParallel(fig, scale, seed, 1)
+}
+
+// RunFigureParallel is RunFigure with the figure's independent (config,
+// strategy) points executed by up to workers concurrent simulations
+// (workers <= 0 means runtime.NumCPU()). Every point runs its own kernel
+// seeded from the figure seed, so the rows are bit-identical at any
+// parallelism level and arrive in the same deterministic order.
+func RunFigureParallel(fig string, scale Scale, seed int64, workers int) ([]Row, error) {
 	switch fig {
 	case "1a":
-		return fig1a(scale, seed)
+		return fig1a(scale, seed, workers)
 	case "1b":
-		return fig1bc(scale, seed, false)
+		return fig1bc(scale, seed, false, workers)
 	case "1c":
-		return fig1bc(scale, seed, true)
+		return fig1bc(scale, seed, true, workers)
 	case "5":
-		return fig5(scale, seed)
+		return fig5(scale, seed, workers)
 	case "6":
-		return fig6(scale, seed)
+		return fig6(scale, seed, workers)
 	case "7":
-		return fig7(scale, seed)
+		return fig7(scale, seed, workers)
 	case "8":
-		return fig8(scale, seed)
+		return fig8(scale, seed, workers)
 	case "9a":
-		return fig9(scale, seed, config.OLTPOnANode, "9a")
+		return fig9(scale, seed, config.OLTPOnANode, "9a", workers)
 	case "9b":
-		return fig9(scale, seed, config.OLTPOnBNode, "9b")
+		return fig9(scale, seed, config.OLTPOnBNode, "9b", workers)
 	default:
 		return nil, fmt.Errorf("dynlb: unknown figure %q (known: %v)", fig, Figures())
 	}
+}
+
+// runJob is one independent simulation point of a figure sweep: a full
+// configuration plus the strategy to run it under.
+type runJob struct {
+	cfg Config
+	st  core.Strategy
+}
+
+func jobFor(cfg Config, name string) (runJob, error) {
+	st, err := core.ByName(name)
+	if err != nil {
+		return runJob{}, err
+	}
+	return runJob{cfg: cfg, st: st}, nil
+}
+
+// runJobs executes jobs with up to workers concurrent simulations and
+// returns the results indexed like jobs. Each job runs a fully independent
+// kernel and RNG (strategies are stateless values), so results do not
+// depend on the worker count or on scheduling order.
+func runJobs(jobs []runJob, workers int) ([]Results, error) {
+	results := make([]Results, len(jobs))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			sys, err := engine.New(j.cfg, j.st)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = sys.Run()
+		}
+		return results, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		jobErr  error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) || failed.Load() {
+					return
+				}
+				sys, err := engine.New(jobs[i].cfg, jobs[i].st)
+				if err != nil {
+					errOnce.Do(func() { jobErr = err })
+					failed.Store(true)
+					return
+				}
+				results[i] = sys.Run()
+			}
+		}()
+	}
+	wg.Wait()
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	return results, nil
 }
 
 func baseCfg(scale Scale, seed int64) Config {
@@ -116,24 +201,12 @@ func baseCfg(scale Scale, seed int64) Config {
 	return cfg
 }
 
-func runOne(cfg Config, name string) (Results, error) {
-	s, err := core.ByName(name)
-	if err != nil {
-		return Results{}, err
-	}
-	sys, err := engine.New(cfg, s)
-	if err != nil {
-		return Results{}, err
-	}
-	return sys.Run(), nil
-}
-
 // fig1Degrees are the degree sweep points of the Fig. 1 curves.
 var fig1Degrees = []int{1, 2, 4, 8, 12, 16, 20, 24, 32, 40}
 
 // fig1a: the single-user response-time curve — analytic model plus
 // simulated single-user points at fixed degrees with RANDOM selection.
-func fig1a(scale Scale, seed int64) ([]Row, error) {
+func fig1a(scale Scale, seed int64, workers int) ([]Row, error) {
 	cfg := baseCfg(scale, seed)
 	cfg.NPE = 40
 	curve := ResponseTimeCurve(cfg, cfg.NPE)
@@ -144,6 +217,7 @@ func fig1a(scale Scale, seed int64) ([]Row, error) {
 			JoinRTMS: curve[p-1],
 		})
 	}
+	var jobs []runJob
 	for _, p := range fig1Degrees {
 		c := cfg
 		c.JoinQPSPerPE = 0 // single-user closed loop
@@ -151,14 +225,16 @@ func fig1a(scale Scale, seed int64) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		sys, err := engine.New(c, st)
-		if err != nil {
-			return nil, err
-		}
-		res := sys.Run()
+		jobs = append(jobs, runJob{cfg: c, st: st})
+	}
+	results, err := runJobs(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range fig1Degrees {
 		rows = append(rows, Row{
 			Figure: "1a", Series: "simulated", X: float64(p), XLabel: "degree",
-			JoinRTMS: res.JoinRT.MeanMS, Res: res,
+			JoinRTMS: results[i].JoinRT.MeanMS, Res: results[i],
 		})
 	}
 	return rows, nil
@@ -167,14 +243,16 @@ func fig1a(scale Scale, seed int64) ([]Row, error) {
 // fig1bc: response time vs degree in multi-user mode — under CPU contention
 // (1b) the optimum shifts below the single-user optimum; under a
 // memory/disk bottleneck (1c) it shifts above.
-func fig1bc(scale Scale, seed int64, memBound bool) ([]Row, error) {
+func fig1bc(scale Scale, seed int64, memBound bool, workers int) ([]Row, error) {
 	figure := "1b"
-	var rows []Row
+	if memBound {
+		figure = "1c"
+	}
+	var jobs []runJob
 	for _, p := range fig1Degrees {
 		cfg := baseCfg(scale, seed)
 		cfg.NPE = 40
 		if memBound {
-			figure = "1c"
 			cfg.BufferPages = 5
 			cfg.DisksPerPE = 1
 			cfg.JoinQPSPerPE = 0.05
@@ -185,11 +263,15 @@ func fig1bc(scale Scale, seed int64, memBound bool) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		sys, err := engine.New(cfg, st)
-		if err != nil {
-			return nil, err
-		}
-		res := sys.Run()
+		jobs = append(jobs, runJob{cfg: cfg, st: st})
+	}
+	results, err := runJobs(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for i, p := range fig1Degrees {
+		res := results[i]
 		rows = append(rows, Row{
 			Figure: figure, Series: "multi-user", X: float64(p), XLabel: "degree",
 			JoinRTMS: res.JoinRT.MeanMS,
@@ -203,68 +285,85 @@ func fig1bc(scale Scale, seed int64, memBound bool) ([]Row, error) {
 // figSizes are the system sizes of the Fig. 5/6/9 sweeps.
 var figSizes = []int{10, 20, 40, 60, 80}
 
-func fig5(scale Scale, seed int64) ([]Row, error) {
-	strategies := []string{
-		"psu-noIO+RANDOM", "psu-noIO+LUC", "psu-noIO+LUM",
-		"psu-opt+RANDOM", "psu-opt+LUC", "psu-opt+LUM",
+// sizeSweep accumulates (config, series label, system size) sweep points
+// and maps the pooled results onto sizeRow rows. It is the shared scaffold
+// of every "#PE on the x axis" figure.
+type sizeSweep struct {
+	fig    string
+	jobs   []runJob
+	labels []string
+	sizes  []int
+}
+
+func (s *sizeSweep) add(cfg Config, name, label string, n int) error {
+	j, err := jobFor(cfg, name)
+	if err != nil {
+		return err
 	}
-	var rows []Row
+	s.jobs = append(s.jobs, j)
+	s.labels = append(s.labels, label)
+	s.sizes = append(s.sizes, n)
+	return nil
+}
+
+// run executes the accumulated points on the worker pool and labels the
+// rows in point order; post, if non-nil, decorates each row from its run.
+func (s *sizeSweep) run(workers int, post func(r *Row, res Results)) ([]Row, error) {
+	results, err := runJobs(s.jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(results))
+	for i, res := range results {
+		rows[i] = sizeRow(s.fig, s.labels[i], s.sizes[i], res)
+		if post != nil {
+			post(&rows[i], res)
+		}
+	}
+	return rows, nil
+}
+
+// figBySize builds the standard "strategies × system sizes plus single-user
+// reference" sweep shared by Figs. 5 and 6.
+func figBySize(fig string, scale Scale, seed int64, strategies []string, workers int) ([]Row, error) {
+	sweep := sizeSweep{fig: fig}
 	for _, n := range figSizes {
 		for _, name := range strategies {
 			cfg := baseCfg(scale, seed)
 			cfg.NPE = n
 			cfg.JoinQPSPerPE = 0.25
-			res, err := runOne(cfg, name)
-			if err != nil {
+			if err := sweep.add(cfg, name, name, n); err != nil {
 				return nil, err
 			}
-			rows = append(rows, sizeRow("5", name, n, res))
 		}
 		// Single-user reference with psu-opt processors.
 		cfg := baseCfg(scale, seed)
 		cfg.NPE = n
 		cfg.JoinQPSPerPE = 0
-		res, err := runOne(cfg, "psu-opt+RANDOM")
-		if err != nil {
+		if err := sweep.add(cfg, "psu-opt+RANDOM", "single-user (psu-opt)", n); err != nil {
 			return nil, err
 		}
-		rows = append(rows, sizeRow("5", "single-user (psu-opt)", n, res))
 	}
-	return rows, nil
+	return sweep.run(workers, nil)
 }
 
-func fig6(scale Scale, seed int64) ([]Row, error) {
-	strategies := []string{
+func fig5(scale Scale, seed int64, workers int) ([]Row, error) {
+	return figBySize("5", scale, seed, []string{
+		"psu-noIO+RANDOM", "psu-noIO+LUC", "psu-noIO+LUM",
+		"psu-opt+RANDOM", "psu-opt+LUC", "psu-opt+LUM",
+	}, workers)
+}
+
+func fig6(scale Scale, seed int64, workers int) ([]Row, error) {
+	return figBySize("6", scale, seed, []string{
 		"MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+RANDOM", "pmu-cpu+LUM", "OPT-IO-CPU",
-	}
-	var rows []Row
-	for _, n := range figSizes {
-		for _, name := range strategies {
-			cfg := baseCfg(scale, seed)
-			cfg.NPE = n
-			cfg.JoinQPSPerPE = 0.25
-			res, err := runOne(cfg, name)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, sizeRow("6", name, n, res))
-		}
-		cfg := baseCfg(scale, seed)
-		cfg.NPE = n
-		cfg.JoinQPSPerPE = 0
-		res, err := runOne(cfg, "psu-opt+RANDOM")
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, sizeRow("6", "single-user (psu-opt)", n, res))
-	}
-	return rows, nil
+	}, workers)
 }
 
 // fig7 uses the memory-bound environment: one tenth of the memory, one disk
 // per PE, lower arrival rates; it reports the achieved degrees alongside
 // the response times (the paper annotates them on the bars).
-func fig7(scale Scale, seed int64) ([]Row, error) {
+func fig7(scale Scale, seed int64, workers int) ([]Row, error) {
 	sizes := []int{20, 30, 40, 60, 80}
 	mk := func(n int, qps float64) Config {
 		cfg := baseCfg(scale, seed)
@@ -274,7 +373,7 @@ func fig7(scale Scale, seed int64) ([]Row, error) {
 		cfg.JoinQPSPerPE = qps
 		return cfg
 	}
-	var rows []Row
+	sweep := sizeSweep{fig: "7"}
 	for _, n := range sizes {
 		for _, series := range []struct {
 			qps   float64
@@ -285,16 +384,13 @@ func fig7(scale Scale, seed int64) ([]Row, error) {
 			{0, "single-user"},
 		} {
 			for _, name := range []string{"pmu-cpu+LUM", "MIN-IO-SUOPT"} {
-				res, err := runOne(mk(n, series.qps), name)
-				if err != nil {
+				if err := sweep.add(mk(n, series.qps), name, name+" / "+series.label, n); err != nil {
 					return nil, err
 				}
-				r := sizeRow("7", name+" / "+series.label, n, res)
-				rows = append(rows, r)
 			}
 		}
 	}
-	return rows, nil
+	return sweep.run(workers, nil)
 }
 
 // fig8Rates are the per-selectivity arrival rates (QPS/PE at 60 PE) chosen,
@@ -306,12 +402,15 @@ var fig8Rates = map[float64]float64{
 	0.05:  0.065,
 }
 
-func fig8(scale Scale, seed int64) ([]Row, error) {
+func fig8(scale Scale, seed int64, workers int) ([]Row, error) {
 	selectivities := []float64{0.001, 0.01, 0.02, 0.05}
 	strategies := []string{
 		"psu-noIO+LUM", "MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
-	var rows []Row
+	// The psu-opt+RANDOM baseline of each selectivity is itself a sweep
+	// point: job layout is [base, strategies...] per selectivity, and the
+	// improvement percentages are computed after the pool drains.
+	var jobs []runJob
 	for _, sel := range selectivities {
 		mk := func() Config {
 			cfg := baseCfg(scale, seed)
@@ -320,15 +419,24 @@ func fig8(scale Scale, seed int64) ([]Row, error) {
 			cfg.JoinQPSPerPE = fig8Rates[sel]
 			return cfg
 		}
-		base, err := runOne(mk(), "psu-opt+RANDOM")
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range strategies {
-			res, err := runOne(mk(), name)
+		for _, name := range append([]string{"psu-opt+RANDOM"}, strategies...) {
+			j, err := jobFor(mk(), name)
 			if err != nil {
 				return nil, err
 			}
+			jobs = append(jobs, j)
+		}
+	}
+	results, err := runJobs(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	perSel := 1 + len(strategies)
+	for si, sel := range selectivities {
+		base := results[si*perSel]
+		for ni, name := range strategies {
+			res := results[si*perSel+1+ni]
 			improvement := 0.0
 			if base.JoinRT.MeanMS > 0 {
 				improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
@@ -348,11 +456,11 @@ func fig8(scale Scale, seed int64) ([]Row, error) {
 	return rows, nil
 }
 
-func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string) ([]Row, error) {
+func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string, workers int) ([]Row, error) {
 	strategies := []string{
 		"psu-opt+RANDOM", "psu-noIO+RANDOM", "psu-noIO+LUM", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
-	var rows []Row
+	sweep := sizeSweep{fig: figure}
 	for _, n := range figSizes {
 		for _, name := range strategies {
 			cfg := baseCfg(scale, seed)
@@ -361,16 +469,14 @@ func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string
 			cfg.JoinQPSPerPE = 0.075
 			cfg.OLTP.Placement = placement
 			cfg.OLTP.TPSPerNode = 100
-			res, err := runOne(cfg, name)
-			if err != nil {
+			if err := sweep.add(cfg, name, name, n); err != nil {
 				return nil, err
 			}
-			r := sizeRow(figure, name, n, res)
-			r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
-			rows = append(rows, r)
 		}
 	}
-	return rows, nil
+	return sweep.run(workers, func(r *Row, res Results) {
+		r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
+	})
 }
 
 func sizeRow(fig, series string, n int, res Results) Row {

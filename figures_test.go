@@ -1,0 +1,42 @@
+package dynlb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunFigureParallelMatchesSequential: a figure sweep must produce
+// bit-identical rows (values, order, and per-run Results) whether its
+// points run sequentially or on a worker pool. Every point simulates on an
+// independent kernel and RNG, so the worker count must be invisible in the
+// output.
+func TestRunFigureParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	seq, err := RunFigureParallel("1c", ScaleQuick, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFigureParallel("1c", ScaleQuick, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Fatalf("row %d differs between -parallel 1 and -parallel 8:\nseq: %+v\npar: %+v",
+				i, seq[i], par[i])
+		}
+	}
+}
+
+// TestRunFigureParallelUnknownFigure: the parallel entry point reports
+// unknown figures like the sequential one.
+func TestRunFigureParallelUnknownFigure(t *testing.T) {
+	if _, err := RunFigureParallel("nope", ScaleQuick, 1, 4); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}

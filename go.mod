@@ -1,0 +1,3 @@
+module dynlb
+
+go 1.24

@@ -1,0 +1,25 @@
+// Package prof is the shared CPU-profiling setup of the dynlb commands.
+package prof
+
+import (
+	"os"
+	"runtime/pprof"
+)
+
+// Start begins writing a CPU profile to path. The returned stop function
+// stops the profile and closes the file, reporting the close error that a
+// bare deferred pprof.StopCPUProfile would swallow (ENOSPC, NFS flush).
+func Start(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventDispatch measures the raw event path — one calendar insert
+// plus one extract and dispatch per operation — with no process handoff,
+// using the classic hold model: a steady population of 256 pending events,
+// each rescheduling itself one population-width ahead when it fires. This
+// isolates the calendar queue and the event pool from goroutine-switch
+// costs.
+func BenchmarkEventDispatch(b *testing.B) {
+	k := NewKernel()
+	const population = 256
+	var fire func()
+	fire = func() { k.At(k.Now()+population*Microsecond, fire) }
+	for i := 0; i < population; i++ {
+		k.At(Time(i+1)*Microsecond, fire)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Run(Time(i+1) * Microsecond) // exactly one event per horizon
+	}
+}
+
+// BenchmarkKernelWaitLoop measures the steady-state cost of one
+// Wait: one calendar insert, one extract and one process handoff
+// (park + resume). It is the dominant primitive of every simulation run, so
+// ns/op here bounds overall simulator throughput. allocs/op should be ~0 in
+// steady state: events come from the kernel pool and no closures are built.
+func BenchmarkKernelWaitLoop(b *testing.B) {
+	k := NewKernel()
+	done := false
+	k.Spawn("waiter", func(p *Proc) {
+		for !done {
+			p.Wait(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Each horizon extension executes exactly one Wait round trip.
+	for i := 0; i < b.N; i++ {
+		k.Run(Time(i+1) * Microsecond)
+	}
+	b.StopTimer()
+	done = true
+	k.RunAll()
+}
+
+// BenchmarkServerContention measures a contended FCFS station: 8 processes
+// sharing a 2-server station, so most Use calls queue (park on the waiter
+// list) and every Release hands off to a queued process.
+func BenchmarkServerContention(b *testing.B) {
+	const procs = 8
+	k := NewKernel()
+	srv := NewServer(k, "cpu", 2)
+	done := false
+	for i := 0; i < procs; i++ {
+		k.Spawn("worker", func(p *Proc) {
+			for !done {
+				srv.Use(p, Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Run(Time(i+1) * Microsecond)
+	}
+	b.StopTimer()
+	done = true
+	k.RunAll()
+}
+
+// BenchmarkChanPingPong measures mailbox latency: two processes bouncing a
+// token through a pair of Chans, i.e. two Put/Get pairs (wake + handoff) per
+// iteration, with the consumer always parked when Put arrives.
+func BenchmarkChanPingPong(b *testing.B) {
+	k := NewKernel()
+	ping := NewChan[int](k, "ping")
+	pong := NewChan[int](k, "pong")
+	done := false
+	k.Spawn("echo", func(p *Proc) {
+		for {
+			v, ok := ping.Get(p)
+			if !ok {
+				return
+			}
+			pong.Put(v)
+		}
+	})
+	k.Spawn("driver", func(p *Proc) {
+		for !done {
+			ping.Put(1)
+			pong.Get(p)
+			p.Wait(Microsecond) // advance the clock so Run horizons progress
+		}
+		ping.Close()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Run(Time(i+1) * Microsecond)
+	}
+	b.StopTimer()
+	done = true
+	k.RunAll()
+}

@@ -7,7 +7,8 @@ package sim
 type Chan[T any] struct {
 	k       *Kernel
 	name    string
-	buf     []T
+	buf     []T // items live in buf[head:]; capacity is retained across drains
+	head    int
 	readers []*Proc
 	puts    int64
 	closed  bool
@@ -22,7 +23,7 @@ func NewChan[T any](k *Kernel, name string) *Chan[T] {
 func (c *Chan[T]) Name() string { return c.name }
 
 // Len returns the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.head }
 
 // Puts returns the total number of items ever put.
 func (c *Chan[T]) Puts() int64 { return c.puts }
@@ -64,10 +65,31 @@ func (c *Chan[T]) wakeOne() {
 	r.unpark()
 }
 
+// take removes and returns the head item; the buffer must be nonempty.
+func (c *Chan[T]) take() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero
+	c.head++
+	if c.head == len(c.buf) {
+		// Drained: rewind into the same backing array.
+		c.buf = c.buf[:0]
+		c.head = 0
+	} else if c.head >= 64 && c.head*2 >= len(c.buf) {
+		// Mostly-dead prefix: compact so a never-fully-drained mailbox
+		// does not grow without bound.
+		n := copy(c.buf, c.buf[c.head:])
+		clear(c.buf[n:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
+	return v
+}
+
 // Get removes and returns the head item, blocking while the mailbox is
 // empty. ok is false iff the channel is closed and drained.
 func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
-	for len(c.buf) == 0 {
+	for c.Len() == 0 {
 		if c.closed {
 			return v, false
 		}
@@ -76,26 +98,15 @@ func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
 		p.park()
 		c.k.blocked--
 	}
-	v = c.buf[0]
-	var zero T
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
-	if len(c.buf) == 0 {
-		c.buf = nil
-	}
-	return v, true
+	return c.take(), true
 }
 
 // TryGet removes and returns the head item without blocking.
 func (c *Chan[T]) TryGet() (v T, ok bool) {
-	if len(c.buf) == 0 {
+	if c.Len() == 0 {
 		return v, false
 	}
-	v = c.buf[0]
-	var zero T
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
-	return v, true
+	return c.take(), true
 }
 
 // Barrier counts down from n; processes calling Wait block until Done has

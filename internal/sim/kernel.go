@@ -1,47 +1,40 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a calendar entry: at time t, run fn in kernel context.
-// fn must never block; blocking work belongs in processes.
+// event is a calendar entry: at time t, resume process p (the hot path:
+// Wait wake-ups, unparks) or run fn in kernel context (the general path:
+// At/After). Exactly one of p and fn is set. fn must never block; blocking
+// work belongs in processes. Events are pooled by the kernel, so neither
+// payload allocates in steady state.
 type event struct {
 	t   Time
 	seq int64
-	fn  func()
+	fn  func() // run-fn payload; nil for resume-proc events
+	p   *Proc  // resume-proc payload
 }
 
-// calendar is a min-heap of events ordered by (time, sequence).
-type calendar []*event
-
-func (c calendar) Len() int { return len(c) }
-func (c calendar) Less(i, j int) bool {
-	if c[i].t != c[j].t {
-		return c[i].t < c[j].t
-	}
-	return c[i].seq < c[j].seq
-}
-func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
-func (c *calendar) Push(x any)   { *c = append(*c, x.(*event)) }
-func (c *calendar) Pop() any {
-	old := *c
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*c = old[:n-1]
-	return e
-}
+// maxTime is the largest representable simulated time.
+const maxTime = Time(1<<63 - 1)
 
 // Kernel owns the simulated clock and the event calendar and drives all
 // processes. A Kernel and everything attached to it must be used from a
 // single OS-level goroutine (the one that calls Run); process goroutines are
 // scheduled by the kernel itself and never run concurrently with it.
+//
+// Scheduling structure: events in the future live in the calendar queue
+// (calQueue, O(1) amortized); events at the current instant — unparks and
+// mailbox wake-ups — bypass it through the nowQ FIFO. The global order is
+// still exactly (time, seq): nowQ entries carry sequence numbers and the
+// dispatch loop lets same-time calendar events with lower sequence numbers
+// (scheduled earlier, from a past instant) fire first.
 type Kernel struct {
 	now     Time
 	seq     int64
-	cal     calendar
+	cq      calQueue
+	nowQ    []*event
+	nowHead int
+	pool    []*event
 	yield   chan struct{}
 	running bool
 	live    int // processes spawned and not yet finished
@@ -51,7 +44,11 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	// Capacity 1 makes the yield/resume rendezvous a single blocking
+	// receive instead of a send/receive pair on both sides: the sender
+	// never blocks, and the happens-before edge of the buffered send still
+	// orders all simulation state written before a handoff.
+	return &Kernel{yield: make(chan struct{}, 1)}
 }
 
 // Now returns the current simulated time.
@@ -65,14 +62,57 @@ func (k *Kernel) Live() int { return k.live }
 // resource, store or mailbox (not those sleeping on the calendar).
 func (k *Kernel) Blocked() int { return k.blocked }
 
+// newEvent returns a pooled event stamped with the next sequence number.
+func (k *Kernel) newEvent(t Time) *event {
+	var e *event
+	if n := len(k.pool); n > 0 {
+		e = k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+	} else {
+		e = &event{}
+	}
+	k.seq++
+	e.t = t
+	e.seq = k.seq
+	return e
+}
+
+func (k *Kernel) freeEvent(e *event) {
+	e.fn = nil
+	e.p = nil
+	k.pool = append(k.pool, e)
+}
+
+// schedule files e under the (time, seq) order: same-instant events go to
+// the nowQ FIFO, future events to the calendar queue.
+func (k *Kernel) schedule(e *event) {
+	if e.t == k.now {
+		k.nowQ = append(k.nowQ, e)
+		return
+	}
+	k.cq.enqueue(e)
+}
+
 // At schedules fn to run in kernel context at absolute time t.
 // It panics if t is in the simulated past.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, k.now))
 	}
-	k.seq++
-	heap.Push(&k.cal, &event{t: t, seq: k.seq, fn: fn})
+	e := k.newEvent(t)
+	e.fn = fn
+	k.schedule(e)
+}
+
+// atProc schedules p to be resumed at absolute time t (closure-free).
+func (k *Kernel) atProc(t Time, p *Proc) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, k.now))
+	}
+	e := k.newEvent(t)
+	e.p = p
+	k.schedule(e)
 }
 
 // After schedules fn to run in kernel context d from now.
@@ -81,6 +121,48 @@ func (k *Kernel) After(d Duration, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	k.At(k.now+d, fn)
+}
+
+// next extracts the next event in (time, seq) order with time <= until,
+// advancing the clock; it returns nil when no such event exists.
+func (k *Kernel) next(until Time) *event {
+	if k.nowHead < len(k.nowQ) {
+		if k.now > until {
+			return nil
+		}
+		// A same-time calendar event was necessarily scheduled from an
+		// earlier instant, so its sequence number is lower than every
+		// nowQ entry's: it goes first.
+		if t, ok := k.cq.peekTime(); ok && t == k.now {
+			return k.cq.pop(k.now)
+		}
+		e := k.nowQ[k.nowHead]
+		k.nowQ[k.nowHead] = nil
+		k.nowHead++
+		if k.nowHead == len(k.nowQ) {
+			k.nowQ = k.nowQ[:0]
+			k.nowHead = 0
+		}
+		return e
+	}
+	e := k.cq.pop(until)
+	if e != nil {
+		k.now = e.t
+	}
+	return e
+}
+
+// dispatch recycles e and performs its action: a direct process handoff for
+// resume-proc events, a call for run-fn events.
+func (k *Kernel) dispatch(e *event) {
+	if p := e.p; p != nil {
+		k.freeEvent(e)
+		k.step(p)
+		return
+	}
+	fn := e.fn
+	k.freeEvent(e)
+	fn()
 }
 
 // Run executes events in timestamp order until the calendar is empty or the
@@ -93,15 +175,12 @@ func (k *Kernel) Run(until Time) Time {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for len(k.cal) > 0 {
-		next := k.cal[0]
-		if next.t > until {
-			k.now = until
-			return k.now
+	for {
+		e := k.next(until)
+		if e == nil {
+			break
 		}
-		heap.Pop(&k.cal)
-		k.now = next.t
-		next.fn()
+		k.dispatch(e)
 	}
 	if k.now < until {
 		k.now = until
@@ -117,13 +196,18 @@ func (k *Kernel) RunAll() Time {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for len(k.cal) > 0 {
-		e := heap.Pop(&k.cal).(*event)
-		k.now = e.t
-		e.fn()
+	for {
+		e := k.next(maxTime)
+		if e == nil {
+			break
+		}
+		k.dispatch(e)
 	}
 	return k.now
 }
 
-// Pending reports the number of scheduled calendar events.
-func (k *Kernel) Pending() int { return len(k.cal) }
+// Pending reports the number of scheduled events (calendar and same-instant
+// queue).
+func (k *Kernel) Pending() int {
+	return k.cq.len() + len(k.nowQ) - k.nowHead
+}

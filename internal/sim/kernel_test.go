@@ -36,6 +36,115 @@ func TestKernelTieBreakBySeq(t *testing.T) {
 	}
 }
 
+// TestKernelSameTimeOrderAcrossNowQueue pins the (time, seq) contract at
+// the seam between the calendar queue and the same-instant FIFO: an event
+// scheduled *for* time T from inside the first event *at* T goes to the
+// now-FIFO, but a calendar event at T registered earlier (lower seq) must
+// still fire before it.
+func TestKernelSameTimeOrderAcrossNowQueue(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	const T = 10 * Millisecond
+	k.At(T, func() {
+		got = append(got, "cal1")
+		k.At(k.Now(), func() {
+			got = append(got, "now1")
+			// Nested same-instant scheduling keeps FIFO order too.
+			k.At(k.Now(), func() { got = append(got, "now2") })
+		})
+	})
+	k.At(T, func() { got = append(got, "cal2") })
+	k.RunAll()
+	want := []string{"cal1", "cal2", "now1", "now2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-time dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestKernelUnparkFIFO: processes unparked at the same instant resume in
+// unpark order (they ride the now-FIFO).
+func TestKernelUnparkFIFO(t *testing.T) {
+	k := NewKernel()
+	var procs []*Proc
+	var order []int64
+	for i := 0; i < 5; i++ {
+		p := k.Spawn("sleeper", func(p *Proc) {
+			p.Park()
+			order = append(order, p.ID())
+		})
+		procs = append(procs, p)
+	}
+	k.At(Millisecond, func() {
+		// Wake in reverse spawn order; resumes must follow unpark order.
+		for i := len(procs) - 1; i >= 0; i-- {
+			procs[i].Unpark()
+		}
+	})
+	k.RunAll()
+	if len(order) != 5 {
+		t.Fatalf("resumed %d procs, want 5", len(order))
+	}
+	for i := range order {
+		if order[i] != int64(5-i) {
+			t.Fatalf("resume order %v, want unpark (reverse-spawn) order", order)
+		}
+	}
+}
+
+// TestKernelHoldModelOrdering stresses the calendar queue with the hold
+// model across all its regimes — same-instant events, wheel-bucket events
+// and beyond-horizon overflow events — and requires a monotone clock and
+// exact event accounting.
+func TestKernelHoldModelOrdering(t *testing.T) {
+	k := NewKernel()
+	rng := rand.New(rand.NewSource(3))
+	const population = 64
+	fired, stop := 0, 200000
+	var self func()
+	self = func() {
+		fired++
+		if fired >= stop {
+			return
+		}
+		// Offsets from 0 (now-FIFO) through mid-wheel to several times the
+		// wheel horizon (overflow heap).
+		switch rng.Intn(4) {
+		case 0:
+			k.At(k.Now(), self)
+		case 1:
+			k.After(Duration(rng.Intn(1000))*Nanosecond, self)
+		case 2:
+			k.After(Duration(rng.Intn(10))*Millisecond, self)
+		default:
+			k.After(Duration(rng.Intn(200))*Millisecond, self)
+		}
+	}
+	for i := 0; i < population; i++ {
+		k.At(Duration(rng.Intn(50))*Millisecond, self)
+	}
+	last := Time(-1)
+	prev := 0
+	for k.Pending() > 0 {
+		if k.Now() < last {
+			t.Fatalf("clock went backwards: %v after %v", k.Now(), last)
+		}
+		last = k.Now()
+		k.Run(last + 10*Millisecond)
+		if fired < prev {
+			t.Fatalf("fired count decreased")
+		}
+		prev = fired
+	}
+	if fired < stop {
+		t.Fatalf("fired %d events, want >= %d", fired, stop)
+	}
+}
+
 func TestKernelRunUntilStopsAndResumes(t *testing.T) {
 	k := NewKernel()
 	fired := 0

@@ -25,7 +25,12 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 // SpawnAt creates a process whose execution starts at absolute time t.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
-	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{})}
+	// resume has capacity 1 for the same reason as Kernel.yield: the
+	// kernel's handoff send completes without blocking, halving the
+	// synchronization cost of a process switch. Between its yield send and
+	// resume receive a process touches no simulation state, so the brief
+	// overlap with the kernel is race-free.
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}, 1)}
 	k.live++
 	go func() {
 		<-p.resume
@@ -33,7 +38,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		p.done = true
 		k.yield <- struct{}{}
 	}()
-	k.At(t, func() { k.step(p) })
+	k.atProc(t, p)
 	return p
 }
 
@@ -57,10 +62,11 @@ func (p *Proc) park() {
 	<-p.resume
 }
 
-// unpark schedules p to resume at the current simulated time. It must be
-// called from kernel context (an event function or another process's turn).
+// unpark schedules p to resume at the current simulated time, bypassing the
+// calendar through the kernel's same-instant FIFO. It must be called from
+// kernel context (an event function or another process's turn).
 func (p *Proc) unpark() {
-	p.k.At(p.k.now, func() { p.k.step(p) })
+	p.k.atProc(p.k.now, p)
 }
 
 // Park suspends the calling process until another component calls Unpark.
@@ -98,7 +104,7 @@ func (p *Proc) Wait(d Duration) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, func() { p.k.step(p) })
+	p.k.atProc(p.k.now+d, p)
 	p.park()
 }
 

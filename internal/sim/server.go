@@ -15,6 +15,7 @@ type Server struct {
 	cap  int
 	busy int
 	q    []*serverWaiter
+	free []*serverWaiter // recycled waiters; Acquire/Release are alloc-free in steady state
 
 	lastT     Time
 	busyInt   float64 // integral of busy servers over time
@@ -65,7 +66,14 @@ func (s *Server) Acquire(p *Proc) {
 		s.served++
 		return
 	}
-	w := &serverWaiter{p: p, arrived: s.k.Now()}
+	var w *serverWaiter
+	if n := len(s.free); n > 0 {
+		w = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		w = &serverWaiter{}
+	}
+	w.p, w.arrived = p, s.k.Now()
 	s.q = append(s.q, w)
 	s.k.blocked++
 	p.park()
@@ -90,6 +98,8 @@ func (s *Server) Release() {
 	s.served++
 	s.totalWait += s.k.Now() - w.arrived
 	w.p.unpark()
+	w.p = nil
+	s.free = append(s.free, w)
 }
 
 // Use occupies one server for service time d: Acquire, hold d, Release.

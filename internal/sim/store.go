@@ -12,6 +12,7 @@ type Store struct {
 	cap   int
 	level int
 	q     []*storeWaiter
+	free  []*storeWaiter // recycled waiters; Get/Put are alloc-free in steady state
 
 	lastT   Time
 	usedInt float64
@@ -62,7 +63,15 @@ func (st *Store) Get(p *Proc, n int) {
 		st.grants++
 		return
 	}
-	st.q = append(st.q, &storeWaiter{p: p, n: n, arrived: st.k.Now()})
+	var w *storeWaiter
+	if len(st.free) > 0 {
+		w = st.free[len(st.free)-1]
+		st.free = st.free[:len(st.free)-1]
+	} else {
+		w = &storeWaiter{}
+	}
+	w.p, w.n, w.arrived = p, n, st.k.Now()
+	st.q = append(st.q, w)
 	st.k.blocked++
 	p.park()
 	st.k.blocked--
@@ -102,6 +111,8 @@ func (st *Store) drain() {
 		st.level -= w.n
 		st.grants++
 		w.p.unpark()
+		w.p = nil
+		st.free = append(st.free, w)
 	}
 }
 
