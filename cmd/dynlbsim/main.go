@@ -38,6 +38,8 @@ func run() (code int) {
 		seconds  = flag.Float64("seconds", 20, "measurement window in simulated seconds")
 		warmup   = flag.Float64("warmup", 3, "warm-up in simulated seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "replicated runs across derived seeds (>= 2 adds confidence intervals)")
+		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -80,6 +82,14 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "-reps %d < 1\n", *reps)
+		return 2
+	}
+	if !(*ci > 0 && *ci < 1) {
+		fmt.Fprintf(os.Stderr, "-ci %v outside (0,1)\n", *ci)
+		return 2
+	}
 
 	if *cpuProf != "" {
 		stop, err := prof.Start(*cpuProf)
@@ -101,13 +111,33 @@ func run() (code int) {
 		cfg.NPE, st.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
 	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
 
-	res, err := dynlb.Run(cfg, st)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	var (
+		res dynlb.Results
+		rep *dynlb.Replication
+	)
+	if *reps > 1 {
+		// Replicated mode: run once per derived seed and report across-
+		// replicate means; the scalar report below then shows averages.
+		r, err := dynlb.RunReplicatedConf(cfg, st, dynlb.ReplicateSeeds(*seed, *reps), *ci)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		res, rep = r.Mean, &r.Rep
+	} else {
+		var err error
+		res, err = dynlb.Run(cfg, st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	fmt.Println()
+	if rep != nil {
+		fmt.Printf("replication:    %d runs (seeds derived from %d), means ± %g%% CI half-widths\n",
+			rep.Reps, *seed, 100*rep.Conf)
+	}
 	fmt.Printf("join queries:   %d completed (%.2f/s)\n", res.JoinsDone, res.JoinTPS)
 	fmt.Printf("  response:     mean %.1f ms   p95 %.1f ms   ±%.1f ms (95%% CI)\n",
 		res.JoinRT.MeanMS, res.JoinRT.P95MS, res.JoinRT.HW95MS)
@@ -124,6 +154,13 @@ func run() (code int) {
 		res.MemWaits, res.MemSteals, res.StolenPages)
 	if res.Deadlocks > 0 {
 		fmt.Printf("deadlocks:      %d transactions aborted\n", res.Deadlocks)
+	}
+	if rep != nil {
+		fmt.Printf("spread:         rt ±%.1f ms   tput ±%.2f/s   cpu ±%.1f%%   disk ±%.1f%%   mem ±%.1f%%\n",
+			rep.JoinRTMS.HW, rep.JoinTPS.HW, 100*rep.CPUUtil.HW, 100*rep.DiskUtil.HW, 100*rep.MemUtil.HW)
+		if rep.OLTPRTMS.Mean > 0 {
+			fmt.Printf("                oltp rt ±%.1f ms\n", rep.OLTPRTMS.HW)
+		}
 	}
 	return 0
 }

@@ -2,25 +2,26 @@
 // (VLDB '95) with this library's simulator, printing one aligned table per
 // figure (and optionally CSV for plotting). Independent sweep points run on
 // a worker pool (-parallel); results are bit-identical at any parallelism
-// level because every point simulates on its own kernel and RNG.
+// level because every point simulates on its own kernel and RNG. With
+// -reps N (N >= 2) every point is replicated across N deterministic seeds
+// and each row reports across-replicate means with Student-t confidence
+// half-widths at the -ci level.
 //
 // Examples:
 //
 //	experiments -fig 5                      # reproduce Fig. 5 at normal scale
 //	experiments -fig all -scale quick
 //	experiments -fig 9b -scale full -csv fig9b.csv
+//	experiments -fig 6 -reps 5 -ci 0.99     # 5 seeds per point, 99% intervals
 //	experiments -fig all -parallel 1        # sequential (for timing baselines)
 //	experiments -fig 6 -cpuprofile cpu.out  # profile the simulator hot path
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"strconv"
 	"time"
 
 	"dynlb"
@@ -38,6 +39,8 @@ func run() (code int) {
 		fig      = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
 		scale    = flag.String("scale", "normal", "simulation scale: quick, normal, full")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
+		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		csvF     = flag.String("csv", "", "also write rows to this CSV file")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -54,6 +57,14 @@ func run() (code int) {
 		sc = dynlb.ScaleFull
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		return 2
+	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "-reps %d < 1\n", *reps)
+		return 2
+	}
+	if !(*ci > 0 && *ci < 1) {
+		fmt.Fprintf(os.Stderr, "-ci %v outside (0,1)\n", *ci)
 		return 2
 	}
 
@@ -81,7 +92,7 @@ func run() (code int) {
 	var all []dynlb.Row
 	for _, f := range figs {
 		start := time.Now()
-		rows, err := dynlb.RunFigureParallel(f, sc, *seed, *parallel)
+		rows, err := dynlb.RunFigureReplicatedConf(f, sc, *seed, *reps, *ci, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -113,44 +124,5 @@ func writeCSV(path string, rows []dynlb.Row) (err error) {
 			err = cerr
 		}
 	}()
-	w := csv.NewWriter(f)
-
-	keys := map[string]bool{}
-	for _, r := range rows {
-		for k := range r.Extra {
-			keys[k] = true
-		}
-	}
-	extras := make([]string, 0, len(keys))
-	for k := range keys {
-		extras = append(extras, k)
-	}
-	sort.Strings(extras)
-
-	header := append([]string{"figure", "series", "x", "xlabel", "join_rt_ms", "n", "ci95_ms"}, extras...)
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		rec := []string{
-			r.Figure, r.Series,
-			strconv.FormatFloat(r.X, 'g', -1, 64), r.XLabel,
-			strconv.FormatFloat(r.JoinRTMS, 'f', 2, 64),
-			strconv.Itoa(r.Res.JoinRT.N),
-			strconv.FormatFloat(r.Res.JoinRT.HW95MS, 'f', 2, 64),
-		}
-		for _, k := range extras {
-			v, ok := r.Extra[k]
-			if !ok {
-				rec = append(rec, "")
-				continue
-			}
-			rec = append(rec, strconv.FormatFloat(v, 'f', 3, 64))
-		}
-		if err := w.Write(rec); err != nil {
-			return err
-		}
-	}
-	w.Flush()
-	return w.Error()
+	return dynlb.WriteRowsCSV(f, rows)
 }

@@ -1,0 +1,85 @@
+package dynlb
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteRowsCSV writes figure rows in the experiments CSV format: the fixed
+// columns figure, series, x, xlabel, join_rt_ms, n, ci95_ms followed by the
+// union of the rows' Extra keys in sorted order. When any row carries
+// replicate aggregates (Row.Rep from a reps >= 2 sweep), replication
+// columns are appended — reps, conf and the across-replicate confidence
+// half-widths of response time, throughput and CPU/disk/memory utilization
+// (the means are already in the base columns, which a replicated sweep
+// fills with across-replicate averages). Unreplicated output is unchanged,
+// so goldens locked at reps=1 stay valid.
+func WriteRowsCSV(out io.Writer, rows []Row) error {
+	w := csv.NewWriter(out)
+
+	keys := map[string]bool{}
+	replicated := false
+	for _, r := range rows {
+		for k := range r.Extra {
+			keys[k] = true
+		}
+		if r.Rep != nil {
+			replicated = true
+		}
+	}
+	extras := make([]string, 0, len(keys))
+	for k := range keys {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+
+	header := append([]string{"figure", "series", "x", "xlabel", "join_rt_ms", "n", "ci95_ms"}, extras...)
+	if replicated {
+		header = append(header,
+			"reps", "conf", "rt_hw_ms", "tput_qps", "tput_hw_qps", "cpu_hw", "disk_hw", "mem_hw")
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Series,
+			strconv.FormatFloat(r.X, 'g', -1, 64), r.XLabel,
+			strconv.FormatFloat(r.JoinRTMS, 'f', 2, 64),
+			strconv.Itoa(r.Res.JoinRT.N),
+			strconv.FormatFloat(r.Res.JoinRT.HW95MS, 'f', 2, 64),
+		}
+		for _, k := range extras {
+			v, ok := r.Extra[k]
+			if !ok {
+				rec = append(rec, "")
+				continue
+			}
+			rec = append(rec, strconv.FormatFloat(v, 'f', 3, 64))
+		}
+		if replicated {
+			if r.Rep == nil {
+				// Analytic or otherwise unsimulated row in a replicated sweep.
+				rec = append(rec, "", "", "", "", "", "", "", "")
+			} else {
+				rec = append(rec,
+					strconv.Itoa(r.Rep.Reps),
+					strconv.FormatFloat(r.Rep.Conf, 'g', -1, 64),
+					strconv.FormatFloat(r.Rep.JoinRTMS.HW, 'f', 2, 64),
+					strconv.FormatFloat(r.Rep.JoinTPS.Mean, 'f', 3, 64),
+					strconv.FormatFloat(r.Rep.JoinTPS.HW, 'f', 3, 64),
+					strconv.FormatFloat(r.Rep.CPUUtil.HW, 'f', 4, 64),
+					strconv.FormatFloat(r.Rep.DiskUtil.HW, 'f', 4, 64),
+					strconv.FormatFloat(r.Rep.MemUtil.HW, 'f', 4, 64),
+				)
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -18,6 +18,13 @@
 // RANDOM / LUC / LUM, and the integrated MIN-IO, MIN-IO-SUOPT and
 // OPT-IO-CPU. Custom strategies implement the Strategy interface over the
 // control node's View.
+//
+// For means with confidence intervals instead of single-run point
+// estimates, replicate across deterministic seeds: RunReplicated runs one
+// configuration once per seed, RunFigureReplicated replicates every point
+// of a figure sweep, and ReplicateSeeds derives the standard seed stream
+// (replicate 0 is the base seed; further replicates come from a
+// splitmix64 stream, independent of worker count).
 package dynlb
 
 import (

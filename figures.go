@@ -11,6 +11,7 @@ import (
 	"dynlb/internal/core"
 	"dynlb/internal/engine"
 	"dynlb/internal/sim"
+	"dynlb/internal/stats"
 )
 
 // Scale selects the simulation window of the experiment harness: Quick for
@@ -51,7 +52,10 @@ func (s Scale) windows() (warmup, measure sim.Duration) {
 }
 
 // Row is one point of a reproduced figure: one (series, x) coordinate with
-// the measured response time and the full run results.
+// the measured response time and the full run results. In a replicated
+// sweep (RunFigureReplicated, reps >= 2) the scalar metrics — JoinRTMS,
+// Extra, Res — are across-replicate means and Rep carries the confidence
+// half-widths; in an unreplicated sweep Rep is nil.
 type Row struct {
 	Figure string
 	Series string  // curve label: strategy name or mode
@@ -61,6 +65,7 @@ type Row struct {
 	JoinRTMS float64
 	Extra    map[string]float64 // figure-specific values (improvement %, degree, ...)
 	Res      Results
+	Rep      *Replication // replicate aggregates; nil when the sweep ran one seed per point
 }
 
 // Figures lists the reproducible figure identifiers of the paper's
@@ -99,28 +104,67 @@ func RunFigure(fig string, scale Scale, seed int64) ([]Row, error) {
 // seeded from the figure seed, so the rows are bit-identical at any
 // parallelism level and arrive in the same deterministic order.
 func RunFigureParallel(fig string, scale Scale, seed int64, workers int) ([]Row, error) {
-	switch fig {
-	case "1a":
-		return fig1a(scale, seed, workers)
-	case "1b":
-		return fig1bc(scale, seed, false, workers)
-	case "1c":
-		return fig1bc(scale, seed, true, workers)
-	case "5":
-		return fig5(scale, seed, workers)
-	case "6":
-		return fig6(scale, seed, workers)
-	case "7":
-		return fig7(scale, seed, workers)
-	case "8":
-		return fig8(scale, seed, workers)
-	case "9a":
-		return fig9(scale, seed, config.OLTPOnANode, "9a", workers)
-	case "9b":
-		return fig9(scale, seed, config.OLTPOnBNode, "9b", workers)
-	default:
-		return nil, fmt.Errorf("dynlb: unknown figure %q (known: %v)", fig, Figures())
+	p, err := planFigure(fig, scale, seed)
+	if err != nil {
+		return nil, err
 	}
+	results, err := runJobs(p.jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]runOut, len(results))
+	for i, res := range results {
+		outs[i] = runOut{res: res}
+	}
+	return p.build(outs)
+}
+
+// RunFigureReplicated is RunFigureParallel with every sweep point simulated
+// reps times under independent replicate seeds (ReplicateSeeds(seed, reps):
+// replicate 0 is the figure seed itself, further replicates come from a
+// splitmix64 stream). All point x replicate jobs share one worker pool, and
+// each row reports across-replicate means with Student-t confidence
+// half-widths at the default 95% level in Row.Rep.
+//
+// At reps <= 1 it is exactly RunFigureParallel — same rows, byte for byte,
+// with Rep nil. At reps >= 2 the rows are a pure function of (fig, scale,
+// seed, reps): bit-identical at any worker count.
+func RunFigureReplicated(fig string, scale Scale, seed int64, reps, workers int) ([]Row, error) {
+	return RunFigureReplicatedConf(fig, scale, seed, reps, DefaultConfidence, workers)
+}
+
+// RunFigureReplicatedConf is RunFigureReplicated at an explicit confidence
+// level in (0, 1).
+func RunFigureReplicatedConf(fig string, scale Scale, seed int64, reps int, conf float64, workers int) ([]Row, error) {
+	if err := checkConfidence(conf); err != nil {
+		return nil, err
+	}
+	if reps <= 1 {
+		return RunFigureParallel(fig, scale, seed, workers)
+	}
+	p, err := planFigure(fig, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	seeds := stats.ReplicateSeeds(seed, reps)
+	all := make([]runJob, 0, len(p.jobs)*reps)
+	for _, j := range p.jobs {
+		for _, s := range seeds {
+			c := j.cfg
+			c.Seed = s
+			all = append(all, runJob{cfg: c, st: j.st})
+		}
+	}
+	results, err := runJobs(all, workers)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]runOut, len(p.jobs))
+	for i := range p.jobs {
+		mean, rep := AggregateResults(results[i*reps:(i+1)*reps], conf)
+		outs[i] = runOut{res: mean, rep: &rep}
+	}
+	return p.build(outs)
 }
 
 // runJob is one independent simulation point of a figure sweep: a full
@@ -128,6 +172,49 @@ func RunFigureParallel(fig string, scale Scale, seed int64, workers int) ([]Row,
 type runJob struct {
 	cfg Config
 	st  core.Strategy
+}
+
+// runOut is the outcome of one sweep point handed to a figure's row
+// builder: the (possibly replicate-averaged) results plus the replicate
+// aggregates when the sweep ran more than one seed per point.
+type runOut struct {
+	res Results
+	rep *Replication
+}
+
+// figurePlan separates a figure into its independent simulation jobs and
+// the pure function that shapes their outcomes into rows. RunFigureParallel
+// executes the jobs once; RunFigureReplicated fans every job out across
+// replicate seeds and feeds the builder replicate-aggregated outcomes — the
+// row-shaping logic is shared, so replication covers every figure for free.
+type figurePlan struct {
+	jobs  []runJob
+	build func(outs []runOut) ([]Row, error)
+}
+
+func planFigure(fig string, scale Scale, seed int64) (*figurePlan, error) {
+	switch fig {
+	case "1a":
+		return plan1a(scale, seed)
+	case "1b":
+		return plan1bc(scale, seed, false)
+	case "1c":
+		return plan1bc(scale, seed, true)
+	case "5":
+		return plan5(scale, seed)
+	case "6":
+		return plan6(scale, seed)
+	case "7":
+		return plan7(scale, seed)
+	case "8":
+		return plan8(scale, seed)
+	case "9a":
+		return plan9(scale, seed, config.OLTPOnANode, "9a")
+	case "9b":
+		return plan9(scale, seed, config.OLTPOnBNode, "9b")
+	default:
+		return nil, fmt.Errorf("dynlb: unknown figure %q (known: %v)", fig, Figures())
+	}
 }
 
 func jobFor(cfg Config, name string) (runJob, error) {
@@ -204,19 +291,11 @@ func baseCfg(scale Scale, seed int64) Config {
 // fig1Degrees are the degree sweep points of the Fig. 1 curves.
 var fig1Degrees = []int{1, 2, 4, 8, 12, 16, 20, 24, 32, 40}
 
-// fig1a: the single-user response-time curve — analytic model plus
+// plan1a: the single-user response-time curve — analytic model plus
 // simulated single-user points at fixed degrees with RANDOM selection.
-func fig1a(scale Scale, seed int64, workers int) ([]Row, error) {
+func plan1a(scale Scale, seed int64) (*figurePlan, error) {
 	cfg := baseCfg(scale, seed)
 	cfg.NPE = 40
-	curve := ResponseTimeCurve(cfg, cfg.NPE)
-	var rows []Row
-	for p := 1; p <= cfg.NPE; p++ {
-		rows = append(rows, Row{
-			Figure: "1a", Series: "analytic", X: float64(p), XLabel: "degree",
-			JoinRTMS: curve[p-1],
-		})
-	}
 	var jobs []runJob
 	for _, p := range fig1Degrees {
 		c := cfg
@@ -227,23 +306,30 @@ func fig1a(scale Scale, seed int64, workers int) ([]Row, error) {
 		}
 		jobs = append(jobs, runJob{cfg: c, st: st})
 	}
-	results, err := runJobs(jobs, workers)
-	if err != nil {
-		return nil, err
+	build := func(outs []runOut) ([]Row, error) {
+		curve := ResponseTimeCurve(cfg, cfg.NPE)
+		var rows []Row
+		for p := 1; p <= cfg.NPE; p++ {
+			rows = append(rows, Row{
+				Figure: "1a", Series: "analytic", X: float64(p), XLabel: "degree",
+				JoinRTMS: curve[p-1],
+			})
+		}
+		for i, p := range fig1Degrees {
+			rows = append(rows, Row{
+				Figure: "1a", Series: "simulated", X: float64(p), XLabel: "degree",
+				JoinRTMS: outs[i].res.JoinRT.MeanMS, Res: outs[i].res, Rep: outs[i].rep,
+			})
+		}
+		return rows, nil
 	}
-	for i, p := range fig1Degrees {
-		rows = append(rows, Row{
-			Figure: "1a", Series: "simulated", X: float64(p), XLabel: "degree",
-			JoinRTMS: results[i].JoinRT.MeanMS, Res: results[i],
-		})
-	}
-	return rows, nil
+	return &figurePlan{jobs: jobs, build: build}, nil
 }
 
-// fig1bc: response time vs degree in multi-user mode — under CPU contention
-// (1b) the optimum shifts below the single-user optimum; under a
+// plan1bc: response time vs degree in multi-user mode — under CPU
+// contention (1b) the optimum shifts below the single-user optimum; under a
 // memory/disk bottleneck (1c) it shifts above.
-func fig1bc(scale Scale, seed int64, memBound bool, workers int) ([]Row, error) {
+func plan1bc(scale Scale, seed int64, memBound bool) (*figurePlan, error) {
 	figure := "1b"
 	if memBound {
 		figure = "1c"
@@ -265,28 +351,28 @@ func fig1bc(scale Scale, seed int64, memBound bool, workers int) ([]Row, error) 
 		}
 		jobs = append(jobs, runJob{cfg: cfg, st: st})
 	}
-	results, err := runJobs(jobs, workers)
-	if err != nil {
-		return nil, err
+	build := func(outs []runOut) ([]Row, error) {
+		var rows []Row
+		for i, p := range fig1Degrees {
+			res := outs[i].res
+			rows = append(rows, Row{
+				Figure: figure, Series: "multi-user", X: float64(p), XLabel: "degree",
+				JoinRTMS: res.JoinRT.MeanMS,
+				Extra:    map[string]float64{"cpu%": 100 * res.CPUUtil, "tempIO": float64(res.TempIOPages)},
+				Res:      res,
+				Rep:      outs[i].rep,
+			})
+		}
+		return rows, nil
 	}
-	var rows []Row
-	for i, p := range fig1Degrees {
-		res := results[i]
-		rows = append(rows, Row{
-			Figure: figure, Series: "multi-user", X: float64(p), XLabel: "degree",
-			JoinRTMS: res.JoinRT.MeanMS,
-			Extra:    map[string]float64{"cpu%": 100 * res.CPUUtil, "tempIO": float64(res.TempIOPages)},
-			Res:      res,
-		})
-	}
-	return rows, nil
+	return &figurePlan{jobs: jobs, build: build}, nil
 }
 
 // figSizes are the system sizes of the Fig. 5/6/9 sweeps.
 var figSizes = []int{10, 20, 40, 60, 80}
 
 // sizeSweep accumulates (config, series label, system size) sweep points
-// and maps the pooled results onto sizeRow rows. It is the shared scaffold
+// and maps the pooled outcomes onto sizeRow rows. It is the shared scaffold
 // of every "#PE on the x axis" figure.
 type sizeSweep struct {
 	fig    string
@@ -306,26 +392,26 @@ func (s *sizeSweep) add(cfg Config, name, label string, n int) error {
 	return nil
 }
 
-// run executes the accumulated points on the worker pool and labels the
-// rows in point order; post, if non-nil, decorates each row from its run.
-func (s *sizeSweep) run(workers int, post func(r *Row, res Results)) ([]Row, error) {
-	results, err := runJobs(s.jobs, workers)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Row, len(results))
-	for i, res := range results {
-		rows[i] = sizeRow(s.fig, s.labels[i], s.sizes[i], res)
-		if post != nil {
-			post(&rows[i], res)
+// plan wraps the accumulated points into a figurePlan whose builder labels
+// the rows in point order; post, if non-nil, decorates each row from its
+// run.
+func (s *sizeSweep) plan(post func(r *Row, res Results)) *figurePlan {
+	build := func(outs []runOut) ([]Row, error) {
+		rows := make([]Row, len(outs))
+		for i, out := range outs {
+			rows[i] = sizeRow(s.fig, s.labels[i], s.sizes[i], out)
+			if post != nil {
+				post(&rows[i], out.res)
+			}
 		}
+		return rows, nil
 	}
-	return rows, nil
+	return &figurePlan{jobs: s.jobs, build: build}
 }
 
-// figBySize builds the standard "strategies × system sizes plus single-user
-// reference" sweep shared by Figs. 5 and 6.
-func figBySize(fig string, scale Scale, seed int64, strategies []string, workers int) ([]Row, error) {
+// planBySize builds the standard "strategies × system sizes plus
+// single-user reference" sweep shared by Figs. 5 and 6.
+func planBySize(fig string, scale Scale, seed int64, strategies []string) (*figurePlan, error) {
 	sweep := sizeSweep{fig: fig}
 	for _, n := range figSizes {
 		for _, name := range strategies {
@@ -344,26 +430,26 @@ func figBySize(fig string, scale Scale, seed int64, strategies []string, workers
 			return nil, err
 		}
 	}
-	return sweep.run(workers, nil)
+	return sweep.plan(nil), nil
 }
 
-func fig5(scale Scale, seed int64, workers int) ([]Row, error) {
-	return figBySize("5", scale, seed, []string{
+func plan5(scale Scale, seed int64) (*figurePlan, error) {
+	return planBySize("5", scale, seed, []string{
 		"psu-noIO+RANDOM", "psu-noIO+LUC", "psu-noIO+LUM",
 		"psu-opt+RANDOM", "psu-opt+LUC", "psu-opt+LUM",
-	}, workers)
+	})
 }
 
-func fig6(scale Scale, seed int64, workers int) ([]Row, error) {
-	return figBySize("6", scale, seed, []string{
+func plan6(scale Scale, seed int64) (*figurePlan, error) {
+	return planBySize("6", scale, seed, []string{
 		"MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+RANDOM", "pmu-cpu+LUM", "OPT-IO-CPU",
-	}, workers)
+	})
 }
 
-// fig7 uses the memory-bound environment: one tenth of the memory, one disk
-// per PE, lower arrival rates; it reports the achieved degrees alongside
-// the response times (the paper annotates them on the bars).
-func fig7(scale Scale, seed int64, workers int) ([]Row, error) {
+// plan7 uses the memory-bound environment: one tenth of the memory, one
+// disk per PE, lower arrival rates; it reports the achieved degrees
+// alongside the response times (the paper annotates them on the bars).
+func plan7(scale Scale, seed int64) (*figurePlan, error) {
 	sizes := []int{20, 30, 40, 60, 80}
 	mk := func(n int, qps float64) Config {
 		cfg := baseCfg(scale, seed)
@@ -390,7 +476,7 @@ func fig7(scale Scale, seed int64, workers int) ([]Row, error) {
 			}
 		}
 	}
-	return sweep.run(workers, nil)
+	return sweep.plan(nil), nil
 }
 
 // fig8Rates are the per-selectivity arrival rates (QPS/PE at 60 PE) chosen,
@@ -402,7 +488,7 @@ var fig8Rates = map[float64]float64{
 	0.05:  0.065,
 }
 
-func fig8(scale Scale, seed int64, workers int) ([]Row, error) {
+func plan8(scale Scale, seed int64) (*figurePlan, error) {
 	selectivities := []float64{0.001, 0.01, 0.02, 0.05}
 	strategies := []string{
 		"psu-noIO+LUM", "MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+LUM", "OPT-IO-CPU",
@@ -427,36 +513,37 @@ func fig8(scale Scale, seed int64, workers int) ([]Row, error) {
 			jobs = append(jobs, j)
 		}
 	}
-	results, err := runJobs(jobs, workers)
-	if err != nil {
-		return nil, err
-	}
-	var rows []Row
-	perSel := 1 + len(strategies)
-	for si, sel := range selectivities {
-		base := results[si*perSel]
-		for ni, name := range strategies {
-			res := results[si*perSel+1+ni]
-			improvement := 0.0
-			if base.JoinRT.MeanMS > 0 {
-				improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
+	build := func(outs []runOut) ([]Row, error) {
+		var rows []Row
+		perSel := 1 + len(strategies)
+		for si, sel := range selectivities {
+			base := outs[si*perSel].res
+			for ni, name := range strategies {
+				out := outs[si*perSel+1+ni]
+				res := out.res
+				improvement := 0.0
+				if base.JoinRT.MeanMS > 0 {
+					improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
+				}
+				rows = append(rows, Row{
+					Figure: "8", Series: name, X: sel * 100, XLabel: "selectivity%",
+					JoinRTMS: res.JoinRT.MeanMS,
+					Extra: map[string]float64{
+						"improvement%": improvement,
+						"baselineMS":   base.JoinRT.MeanMS,
+						"degree":       res.AvgJoinDegree,
+					},
+					Res: res,
+					Rep: out.rep,
+				})
 			}
-			rows = append(rows, Row{
-				Figure: "8", Series: name, X: sel * 100, XLabel: "selectivity%",
-				JoinRTMS: res.JoinRT.MeanMS,
-				Extra: map[string]float64{
-					"improvement%": improvement,
-					"baselineMS":   base.JoinRT.MeanMS,
-					"degree":       res.AvgJoinDegree,
-				},
-				Res: res,
-			})
 		}
+		return rows, nil
 	}
-	return rows, nil
+	return &figurePlan{jobs: jobs, build: build}, nil
 }
 
-func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string, workers int) ([]Row, error) {
+func plan9(scale Scale, seed int64, placement config.OLTPPlacement, figure string) (*figurePlan, error) {
 	strategies := []string{
 		"psu-opt+RANDOM", "psu-noIO+RANDOM", "psu-noIO+LUM", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
@@ -474,12 +561,13 @@ func fig9(scale Scale, seed int64, placement config.OLTPPlacement, figure string
 			}
 		}
 	}
-	return sweep.run(workers, func(r *Row, res Results) {
+	return sweep.plan(func(r *Row, res Results) {
 		r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
-	})
+	}), nil
 }
 
-func sizeRow(fig, series string, n int, res Results) Row {
+func sizeRow(fig, series string, n int, out runOut) Row {
+	res := out.res
 	return Row{
 		Figure: fig, Series: series, X: float64(n), XLabel: "#PE",
 		JoinRTMS: res.JoinRT.MeanMS,
@@ -491,6 +579,7 @@ func sizeRow(fig, series string, n int, res Results) Row {
 			"tempIO": float64(res.TempIOPages),
 		},
 		Res: res,
+		Rep: out.rep,
 	}
 }
 
@@ -526,6 +615,9 @@ func FormatRows(rows []Row) string {
 			}
 			if r.Res.JoinRT.N > 0 {
 				line += fmt.Sprintf("  (n=%d ±%.0f)", r.Res.JoinRT.N, r.Res.JoinRT.HW95MS)
+			}
+			if r.Rep != nil {
+				line += fmt.Sprintf("  [%d reps: ±%.1fms @%g%%]", r.Rep.Reps, r.Rep.JoinRTMS.HW, 100*r.Rep.Conf)
 			}
 			out += line + "\n"
 		}

@@ -39,4 +39,83 @@ func TestRunFigureParallelUnknownFigure(t *testing.T) {
 	if _, err := RunFigureParallel("nope", ScaleQuick, 1, 4); err == nil {
 		t.Fatal("expected error for unknown figure")
 	}
+	if _, err := RunFigureReplicated("nope", ScaleQuick, 1, 2, 4); err == nil {
+		t.Fatal("expected error for unknown figure (replicated)")
+	}
+	if _, err := RunFigureReplicatedConf("1c", ScaleQuick, 1, 2, 2.0, 4); err == nil {
+		t.Fatal("expected error for confidence outside (0,1)")
+	}
+	// Invalid confidence must be rejected even when reps=1 short-circuits
+	// into the unreplicated path.
+	if _, err := RunFigureReplicatedConf("1c", ScaleQuick, 1, 1, 2.0, 4); err == nil {
+		t.Fatal("expected error for confidence outside (0,1) at reps=1")
+	}
+}
+
+// TestRunFigureReplicatedMatchesSequential mirrors the parallel-vs-
+// sequential test for the replication layer: a replicated sweep is a pure
+// function of (fig, scale, seed, reps), so rows — means, half-widths, and
+// the replicate-aggregated Results — must be bit-identical whether the
+// point x replicate jobs run sequentially, on a small pool, or on NumCPU
+// workers.
+func TestRunFigureReplicatedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	const reps = 2
+	seq, err := RunFigureReplicated("1c", ScaleQuick, 3, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0 /* NumCPU */} {
+		par, err := RunFigureReplicated("1c", ScaleQuick, 3, reps, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("row counts differ: sequential %d, workers=%d %d", len(seq), workers, len(par))
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i], par[i]) {
+				t.Fatalf("row %d differs between workers=1 and workers=%d:\nseq: %+v\npar: %+v",
+					i, workers, seq[i], par[i])
+			}
+		}
+	}
+	for i, r := range seq {
+		if r.Rep == nil || r.Rep.Reps != reps {
+			t.Fatalf("row %d missing replicate aggregates: %+v", i, r.Rep)
+		}
+		if r.Rep.Conf != DefaultConfidence {
+			t.Fatalf("row %d confidence %v, want %v", i, r.Rep.Conf, DefaultConfidence)
+		}
+		if r.JoinRTMS != r.Rep.JoinRTMS.Mean {
+			t.Fatalf("row %d JoinRTMS %v != replicate mean %v", i, r.JoinRTMS, r.Rep.JoinRTMS.Mean)
+		}
+	}
+}
+
+// TestRunFigureReplicatedRepsOneIdentical: a reps=1 "replicated" sweep must
+// be byte-identical to RunFigureParallel — same rows, Rep nil — so golden
+// comparisons and existing consumers survive the replication layer.
+func TestRunFigureReplicatedRepsOneIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	plain, err := RunFigureParallel("1c", ScaleQuick, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := RunFigureReplicated("1c", ScaleQuick, 3, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, rep1) {
+		t.Fatalf("reps=1 rows differ from RunFigureParallel:\nplain: %+v\nrep1:  %+v", plain, rep1)
+	}
+	for i, r := range rep1 {
+		if r.Rep != nil {
+			t.Fatalf("row %d has non-nil Rep at reps=1", i)
+		}
+	}
 }

@@ -1,0 +1,99 @@
+package dynlb
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden CSV files under testdata/")
+
+// Golden-row regression tests: the quick-scale fig1a and fig6 sweeps at
+// seed 1, reps 1 are locked as exact CSV bytes. Any kernel, engine, cost
+// model or row-shaping change that moves a reproduced curve — even in the
+// last decimal — fails here and must either be fixed or explicitly
+// re-golded with `go test -run TestGolden -update .`. The simulator is a
+// deterministic integer-time DES and Go floating point is reproducible on
+// amd64, so the bytes are stable across runs and worker counts (the sweeps
+// run on NumCPU workers, so the goldens double as a parallelism-invariance
+// check).
+
+func goldenSweep(t *testing.T, fig, file string) {
+	t.Helper()
+	if runtime.GOARCH != "amd64" {
+		// Other architectures may fuse multiply-adds, shifting metrics in
+		// the last decimal; the goldens are amd64 bytes.
+		t.Skipf("golden bytes recorded on amd64; GOARCH=%s may differ in the last float digit", runtime.GOARCH)
+	}
+	rows, err := RunFigureReplicated(fig, ScaleQuick, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows)", path, len(rows))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("figure %s quick-scale CSV drifted from %s.\nRe-run with -update if the change is intentional.\n%s",
+			fig, path, diffLines(want, buf.Bytes()))
+	}
+}
+
+// diffLines renders the first few differing lines of two CSV bodies.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	out := ""
+	shown := 0
+	for i := 0; i < n && shown < 5; i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			out += fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s\n", i+1, wl, gl)
+			shown++
+		}
+	}
+	return out
+}
+
+func TestGoldenFig1aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	goldenSweep(t, "1a", "fig1a_quick.csv")
+}
+
+func TestGoldenFig6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulation sweep on small machines")
+	}
+	goldenSweep(t, "6", "fig6_quick.csv")
+}

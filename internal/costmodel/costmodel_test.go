@@ -127,3 +127,101 @@ func TestCurveLength(t *testing.T) {
 		t.Errorf("curve length %d, want 25", got)
 	}
 }
+
+// TestPsuNoIOBoundaries: formula 3.1 is ceil(b_i * F / m) clamped to
+// [1, n]. The table pins the exact boundary behavior with a hand-sized
+// relation: 2000 tuples at blocking 20 and selectivity 1 give b_i = 100
+// pages, so need = 100 * F buffer pages.
+func TestPsuNoIOBoundaries(t *testing.T) {
+	mk := func(buffer int, fudge float64, npe int) config.Config {
+		cfg := config.Default()
+		cfg.ATuples = 2000
+		cfg.Blocking = 20
+		cfg.ScanSelectivity = 1.0
+		cfg.FudgeFactor = fudge
+		cfg.BufferPages = buffer
+		cfg.NPE = npe
+		return cfg
+	}
+	cases := []struct {
+		name   string
+		buffer int
+		fudge  float64
+		npe    int
+		want   int
+	}{
+		{"exact multiple: 105/5", 5, 1.05, 80, 21},
+		{"exact fit in one PE", 105, 1.05, 80, 1},
+		{"one page short of a PE forces one more", 104, 1.05, 80, 2},
+		{"fudge=1 exact division", 50, 1.0, 80, 2},
+		{"fudge=1 remainder rounds up", 49, 1.0, 80, 3},
+		{"tiny need clamps to 1", 200, 1.0, 80, 1},
+		{"capped by system size", 2, 1.05, 10, 10},
+		{"cap exactly reached: 105/7 = 15", 7, 1.05, 15, 15},
+	}
+	for _, c := range cases {
+		if got := New(mk(c.buffer, c.fudge, c.npe)).PsuNoIO(); got != c.want {
+			t.Errorf("%s: PsuNoIO = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestDegreesMonotoneInRelationSize: scaling both relations up can only
+// demand more join processors — for p_su-noIO because the hash table grows
+// (formula 3.1 is monotone in b_i), for p_su-opt because the per-processor
+// work term grows relative to the fixed startup overhead.
+func TestDegreesMonotoneInRelationSize(t *testing.T) {
+	prevNoIO, prevOpt := 0, 0
+	for _, mult := range []int64{1, 2, 4, 8} {
+		cfg := config.Default()
+		cfg.ATuples *= mult
+		cfg.BTuples *= mult
+		m := New(cfg)
+		noIO, opt := m.PsuNoIO(), m.PsuOpt()
+		if noIO < prevNoIO {
+			t.Errorf("PsuNoIO not monotone in relation size: %d after %d (mult=%d)", noIO, prevNoIO, mult)
+		}
+		if opt < prevOpt {
+			t.Errorf("PsuOpt not monotone in relation size: %d after %d (mult=%d)", opt, prevOpt, mult)
+		}
+		prevNoIO, prevOpt = noIO, opt
+	}
+}
+
+// TestPsuNoIOAtMostPsuOpt: with the paper's default memory (50 buffer
+// pages/PE) the no-I/O degree stays at or below the response-time optimum
+// across the evaluation grid — the property that makes psu-noIO a
+// "minimal" static strategy in Figs. 5/6/8.
+func TestPsuNoIOAtMostPsuOpt(t *testing.T) {
+	for _, npe := range []int{10, 20, 40, 60, 80} {
+		for _, sel := range []float64{0.001, 0.005, 0.01, 0.02, 0.05} {
+			cfg := config.Default()
+			cfg.NPE = npe
+			cfg.ScanSelectivity = sel
+			m := New(cfg)
+			noIO, opt := m.PsuNoIO(), m.PsuOpt()
+			if noIO > opt {
+				t.Errorf("npe=%d sel=%v: PsuNoIO %d > PsuOpt %d", npe, sel, noIO, opt)
+			}
+		}
+	}
+}
+
+// TestPsuNoIOExceedsPsuOptWhenMemoryBound: the complement of the invariant
+// above. PsuOpt is memory-blind by design, so in the Fig. 7 memory-bound
+// environment the no-I/O degree overtakes it — the divergence the paper's
+// MIN-IO-SUOPT strategy exploits.
+func TestPsuNoIOExceedsPsuOptWhenMemoryBound(t *testing.T) {
+	cfg := config.Default()
+	cfg.BufferPages = 2
+	m := New(cfg)
+	noIO, opt := m.PsuNoIO(), m.PsuOpt()
+	if noIO <= opt {
+		t.Errorf("memory-bound (2 pages/PE): PsuNoIO %d <= PsuOpt %d; expected inversion", noIO, opt)
+	}
+	// PsuOpt must be unchanged from the default-memory value: it ignores
+	// memory entirely.
+	if defOpt := New(config.Default()).PsuOpt(); opt != defOpt {
+		t.Errorf("PsuOpt changed with memory: %d vs %d (must be memory-blind)", opt, defOpt)
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+// Replicate seed derivation. Replicated sweeps need one independent RNG
+// stream per (sweep point, replicate) pair with two guarantees: replicate k
+// of a sweep is a pure function of the base seed and k (so results are
+// bit-identical no matter how many workers execute the runs or in which
+// order), and replicate 0 is the base seed itself (so the first replicate of
+// every point reproduces the unreplicated sweep exactly, and a reps=1
+// "replicated" run is byte-identical to today's output).
+//
+// Replicates k >= 1 take the k-th output of a splitmix64 stream seeded at
+// the base seed. splitmix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014) walks its 64-bit state by a
+// fixed odd increment (the golden-ratio constant) and scrambles it with an
+// avalanching finalizer; the finalizer is a bijection and the increment is
+// odd, so the derived seeds of one stream never collide with each other.
+
+const splitmixGamma = 0x9E3779B97F4A7C15
+
+// splitmix64 is the output (finalizer) function of the splitmix64 generator.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ReplicateSeed returns the seed of replicate rep derived from base:
+// base itself for rep <= 0, and the rep-th splitmix64 output otherwise.
+func ReplicateSeed(base int64, rep int) int64 {
+	if rep <= 0 {
+		return base
+	}
+	return int64(splitmix64(uint64(base) + splitmixGamma*uint64(rep)))
+}
+
+// ReplicateSeeds returns the seeds of replicates 0..reps-1 for the base
+// seed (nil if reps <= 0). Element 0 is base itself.
+func ReplicateSeeds(base int64, reps int) []int64 {
+	if reps <= 0 {
+		return nil
+	}
+	out := make([]int64, reps)
+	for k := range out {
+		out[k] = ReplicateSeed(base, k)
+	}
+	return out
+}

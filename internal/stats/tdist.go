@@ -1,0 +1,119 @@
+package stats
+
+import "math"
+
+// TQuantile returns the two-sided Student-t critical value for confidence
+// level conf (0 < conf < 1) with df degrees of freedom: the t such that a
+// fraction conf of the distribution's mass lies within [-t, t]. For df -> inf
+// it approaches the normal critical value (1.96 at conf = 0.95).
+//
+// The value is found by bisection on the exact tail probability (regularized
+// incomplete beta function), so it is accurate over the full df range the
+// replication harness uses (df = 1 upward) with no table interpolation.
+// Invalid arguments degrade safely: conf <= 0 or df < 1 return 0, conf >= 1
+// returns +Inf.
+func TQuantile(conf float64, df int) float64 {
+	if conf <= 0 || df < 1 || math.IsNaN(conf) {
+		return 0
+	}
+	if conf >= 1 {
+		return math.Inf(1)
+	}
+	tail := (1 - conf) / 2
+	// Bracket the quantile: grow hi until its tail mass drops below target.
+	hi := 1.0
+	for studentTail(hi, df) > tail {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 128; i++ {
+		mid := (lo + hi) / 2
+		if studentTail(mid, df) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// studentTail returns P(T > t) for the Student-t distribution with df
+// degrees of freedom and t >= 0, via the identity
+// P(T > t) = I_x(df/2, 1/2) / 2 with x = df / (df + t^2).
+func studentTail(t float64, df int) float64 {
+	x := float64(df) / (float64(df) + t*t)
+	return 0.5 * regIncBeta(float64(df)/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the standard continued-fraction expansion (converges fast when x is
+// below the distribution mean; the symmetry I_x(a,b) = 1 - I_{1-x}(b,a)
+// covers the rest).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the incomplete-beta continued fraction by the modified
+// Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTQuantileTable checks the computed critical values against standard
+// Student-t table entries (two-sided, so conf = 0.95 is the 0.975 quantile).
+func TestTQuantileTable(t *testing.T) {
+	cases := []struct {
+		conf float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 2, 4.3027},
+		{0.95, 3, 3.1824},
+		{0.95, 4, 2.7764},
+		{0.95, 5, 2.5706},
+		{0.95, 9, 2.2622},
+		{0.95, 10, 2.2281},
+		{0.95, 30, 2.0423},
+		{0.95, 100, 1.9840},
+		{0.95, 1000, 1.9623},
+		{0.90, 5, 2.0150},
+		{0.90, 10, 1.8125},
+		{0.99, 5, 4.0321},
+		{0.99, 10, 3.1693},
+		{0.99, 30, 2.7500},
+		{0.80, 10, 1.3722},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.conf, c.df)
+		if math.Abs(got-c.want) > 5e-4*c.want {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.conf, c.df, got, c.want)
+		}
+	}
+}
+
+// TestTQuantileApproachesNormal: for large df the critical value converges
+// to the normal one.
+func TestTQuantileApproachesNormal(t *testing.T) {
+	if got := TQuantile(0.95, 100000); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("TQuantile(0.95, 1e5) = %v, want ~1.96", got)
+	}
+}
+
+// TestTQuantileMonotone: critical values grow with confidence and shrink
+// with degrees of freedom.
+func TestTQuantileMonotone(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 20, 200} {
+		prev := 0.0
+		for _, conf := range []float64{0.5, 0.8, 0.9, 0.95, 0.99, 0.999} {
+			got := TQuantile(conf, df)
+			if got <= prev {
+				t.Errorf("TQuantile(%v, %d) = %v not above TQuantile at lower conf (%v)", conf, df, got, prev)
+			}
+			prev = got
+		}
+	}
+	for _, conf := range []float64{0.9, 0.95, 0.99} {
+		prev := math.Inf(1)
+		for _, df := range []int{1, 2, 3, 5, 10, 30, 100} {
+			got := TQuantile(conf, df)
+			if got >= prev {
+				t.Errorf("TQuantile(%v, %d) = %v not below df-1 value %v", conf, df, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestTQuantileRoundTrip: the returned quantile must reproduce the target
+// tail mass under the exact CDF it was inverted from.
+func TestTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []int{1, 3, 7, 50} {
+		for _, conf := range []float64{0.8, 0.95, 0.99} {
+			q := TQuantile(conf, df)
+			tail := studentTail(q, df)
+			want := (1 - conf) / 2
+			if math.Abs(tail-want) > 1e-9 {
+				t.Errorf("df=%d conf=%v: tail(%v) = %v, want %v", df, conf, q, tail, want)
+			}
+		}
+	}
+}
+
+func TestTQuantileDegenerateArgs(t *testing.T) {
+	if got := TQuantile(0, 5); got != 0 {
+		t.Errorf("conf=0: %v, want 0", got)
+	}
+	if got := TQuantile(-1, 5); got != 0 {
+		t.Errorf("conf<0: %v, want 0", got)
+	}
+	if got := TQuantile(0.95, 0); got != 0 {
+		t.Errorf("df=0: %v, want 0", got)
+	}
+	if got := TQuantile(1, 5); !math.IsInf(got, 1) {
+		t.Errorf("conf=1: %v, want +Inf", got)
+	}
+	if got := TQuantile(math.NaN(), 5); got != 0 {
+		t.Errorf("conf=NaN: %v, want 0", got)
+	}
+}
+
+// TestRegIncBetaEdges pins the regularized incomplete beta endpoints and a
+// closed-form interior case (I_x(1,1) = x).
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) + I_{1-x}(b,a) = 1.
+	for _, x := range []float64{0.2, 0.5, 0.7} {
+		s := regIncBeta(2.5, 0.5, x) + regIncBeta(0.5, 2.5, 1-x)
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("symmetry broken at x=%v: sum %v", x, s)
+		}
+	}
+}

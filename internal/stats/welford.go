@@ -1,0 +1,57 @@
+package stats
+
+import "math"
+
+// Welford accumulates a stream of observations in O(1) memory using
+// Welford's online algorithm, which is numerically stable where the naive
+// sum/sum-of-squares update loses precision (large means, small spread). It
+// backs the across-replicate aggregation of sweep metrics: one Welford per
+// metric per sweep point, fed in replicate order, so the aggregate is
+// deterministic for a fixed replicate set regardless of how many workers
+// produced the underlying runs.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 if n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	v := w.m2 / float64(w.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Stddev returns the sample standard deviation (0 if n < 2).
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// HalfWidth returns the half-width of the two-sided confidence interval of
+// the mean at confidence level conf (e.g. 0.95), using the Student-t
+// critical value with n-1 degrees of freedom — the small-sample interval
+// appropriate for the handful of replicates a sweep runs per point.
+// Returns 0 if n < 2.
+func (w *Welford) HalfWidth(conf float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return TQuantile(conf, w.n-1) * w.Stddev() / math.Sqrt(float64(w.n))
+}

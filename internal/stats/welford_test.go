@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveTwoPass computes mean and unbiased sample variance the textbook way:
+// one pass for the mean, one for the squared deviations.
+func naiveTwoPass(vals []float64) (mean, variance float64) {
+	n := float64(len(vals))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	for _, v := range vals {
+		d := v - mean
+		variance += d * d
+	}
+	return mean, variance / (n - 1)
+}
+
+// TestWelfordMatchesTwoPass: on random data of varying size, scale and
+// offset, the streaming accumulator must agree with the two-pass reference
+// to tight relative tolerance.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(500)
+		offset := math.Pow(10, float64(rng.Intn(7))) // up to 1e6: stress cancellation
+		scale := math.Pow(10, float64(rng.Intn(4)-2))
+		vals := make([]float64, n)
+		var w Welford
+		for i := range vals {
+			vals[i] = offset + scale*rng.NormFloat64()
+			w.Add(vals[i])
+		}
+		mean, variance := naiveTwoPass(vals)
+		if w.N() != n {
+			t.Fatalf("trial %d: N=%d, want %d", trial, w.N(), n)
+		}
+		if !closeRel(w.Mean(), mean, 1e-12) {
+			t.Errorf("trial %d (n=%d offset=%g): mean %v, two-pass %v", trial, n, offset, w.Mean(), mean)
+		}
+		if !closeRel(w.Variance(), variance, 1e-9) {
+			t.Errorf("trial %d (n=%d offset=%g): variance %v, two-pass %v", trial, n, offset, w.Variance(), variance)
+		}
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestWelfordEmptyAndSingleton(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.Stddev() != 0 || w.HalfWidth(0.95) != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(3.5)
+	if w.N() != 1 || w.Mean() != 3.5 {
+		t.Errorf("singleton: n=%d mean=%v", w.N(), w.Mean())
+	}
+	if w.Variance() != 0 || w.HalfWidth(0.95) != 0 {
+		t.Error("singleton variance and half-width must be 0 (no spread estimate from one run)")
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.Mean() != 5 {
+		t.Errorf("mean=%v, want 5", w.Mean())
+	}
+	want := 32.0 / 7.0 // sum of squared deviations 32, n-1 = 7
+	if math.Abs(w.Variance()-want) > 1e-12 {
+		t.Errorf("variance=%v, want %v", w.Variance(), want)
+	}
+}
+
+// Property: the Welford mean is bounded by the data range and the variance
+// is non-negative for arbitrary finite inputs.
+func TestQuickWelfordBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var w Welford
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			w.Add(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if w.N() == 0 {
+			return true
+		}
+		return w.Mean() >= lo-1e-6 && w.Mean() <= hi+1e-6 && w.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHalfWidthShrinksRootN: the CI half-width of the mean must shrink like
+// ~1/sqrt(n). Feeding the same empirical distribution at 1x and 16x size
+// must shrink the half-width by about 4 (t-quantile differences make it
+// slightly more than 4 at small n).
+func TestHalfWidthShrinksRootN(t *testing.T) {
+	vals := []float64{1, 5, 3, 7, 2, 8, 4, 6}
+	var small, big Welford
+	for _, v := range vals {
+		small.Add(v)
+	}
+	for i := 0; i < 16; i++ {
+		for _, v := range vals {
+			big.Add(v)
+		}
+	}
+	ratio := small.HalfWidth(0.95) / big.HalfWidth(0.95)
+	// The squared deviations replicate 16x but the variance denominator is
+	// n-1, so sd_small/sd_big = sqrt(127/112); the remaining factors are
+	// sqrt(16) from the standard error and the t-quantile ratio.
+	want := 4 * math.Sqrt(127.0/112.0) * TQuantile(0.95, 7) / TQuantile(0.95, 127)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("half-width ratio %v, want %v (~1/sqrt(n) scaling)", ratio, want)
+	}
+	if ratio < 4 {
+		t.Errorf("half-width ratio %v < 4: CI not shrinking at the 1/sqrt(n) rate", ratio)
+	}
+}
+
+// TestWelfordHalfWidthCoversKnownCase: cross-check one interval end to end
+// against a hand-computed Student-t interval.
+func TestWelfordHalfWidthCoversKnownCase(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{10, 12, 14} {
+		w.Add(v)
+	}
+	// mean 12, sd 2, se 2/sqrt(3), t(0.95, df=2) = 4.3027
+	want := 4.302652729911275 * 2 / math.Sqrt(3)
+	if math.Abs(w.HalfWidth(0.95)-want) > 1e-4 {
+		t.Errorf("half-width %v, want %v", w.HalfWidth(0.95), want)
+	}
+}

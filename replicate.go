@@ -1,0 +1,159 @@
+package dynlb
+
+import (
+	"fmt"
+	"math"
+
+	"dynlb/internal/stats"
+)
+
+// DefaultConfidence is the confidence level of replicated-run intervals
+// when no explicit level is given.
+const DefaultConfidence = 0.95
+
+// MeanCI is one replicate-aggregated metric: the across-replicate mean and
+// the half-width of its two-sided Student-t confidence interval at the
+// aggregation's confidence level (0 when fewer than two replicates).
+type MeanCI struct {
+	Mean float64
+	HW   float64
+}
+
+// String renders the metric as "mean ±hw".
+func (m MeanCI) String() string { return fmt.Sprintf("%.2f ±%.2f", m.Mean, m.HW) }
+
+// Replication summarizes the spread of every reported metric across the
+// replicated runs of one sweep point or configuration.
+type Replication struct {
+	Reps int     // replicates aggregated
+	Conf float64 // confidence level of the half-widths (e.g. 0.95)
+
+	JoinRTMS MeanCI // join response time, ms
+	JoinTPS  MeanCI // join throughput, queries/s
+	OLTPRTMS MeanCI // OLTP response time, ms (zero without OLTP workload)
+	CPUUtil  MeanCI // mean CPU utilization, 0..1
+	DiskUtil MeanCI // mean disk utilization, 0..1
+	MemUtil  MeanCI // mean memory utilization, 0..1
+	Degree   MeanCI // achieved degree of join parallelism
+	TempIO   MeanCI // temporary-file I/O pages in the window
+}
+
+// Replicated bundles the outcome of replicated runs of one configuration.
+type Replicated struct {
+	Runs []Results   // per-seed results, in seed order
+	Mean Results     // field-wise across-replicate means (counts rounded)
+	Rep  Replication // mean ± CI half-width of the headline metrics
+}
+
+// RunReplicated simulates cfg under the strategy once per seed (replicates
+// run concurrently, one kernel each) and aggregates the runs at the default
+// 95% confidence level. Derive seeds with ReplicateSeeds for the standard
+// deterministic stream, or pass any explicit seed list.
+func RunReplicated(cfg Config, s Strategy, seeds []int64) (Replicated, error) {
+	return RunReplicatedConf(cfg, s, seeds, DefaultConfidence)
+}
+
+// RunReplicatedConf is RunReplicated at an explicit confidence level in
+// (0, 1).
+func RunReplicatedConf(cfg Config, s Strategy, seeds []int64, conf float64) (Replicated, error) {
+	if len(seeds) == 0 {
+		return Replicated{}, fmt.Errorf("dynlb: RunReplicated needs at least one seed")
+	}
+	if err := checkConfidence(conf); err != nil {
+		return Replicated{}, err
+	}
+	jobs := make([]runJob, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		jobs[i] = runJob{cfg: c, st: s}
+	}
+	runs, err := runJobs(jobs, 0)
+	if err != nil {
+		return Replicated{}, err
+	}
+	mean, rep := AggregateResults(runs, conf)
+	return Replicated{Runs: runs, Mean: mean, Rep: rep}, nil
+}
+
+// ReplicateSeeds returns the standard replicate seed stream for a base
+// seed: replicate 0 is the base itself (so replicated runs extend the
+// unreplicated one), replicates k >= 1 are drawn from a splitmix64 stream
+// seeded at base. The derivation is a pure function of (base, k), so
+// replicate sets are identical regardless of worker count or scheduling.
+func ReplicateSeeds(base int64, reps int) []int64 { return stats.ReplicateSeeds(base, reps) }
+
+// AggregateResults condenses replicated runs of one configuration into a
+// field-wise mean Results (integer counts rounded to nearest) and the
+// Replication carrying confidence half-widths at level conf. Runs are
+// consumed in slice order, so the aggregate is deterministic for a fixed
+// replicate set. An empty slice yields zero values.
+func AggregateResults(runs []Results, conf float64) (Results, Replication) {
+	if len(runs) == 0 {
+		return Results{}, Replication{Conf: conf}
+	}
+	mean := runs[0] // identification fields (Strategy, NPE, PsuOpt, PsuNoIO) are per-config constants
+
+	meanF := func(get func(*Results) float64) float64 {
+		var w stats.Welford
+		for i := range runs {
+			w.Add(get(&runs[i]))
+		}
+		return w.Mean()
+	}
+	meanI := func(get func(*Results) float64) int64 {
+		return int64(math.Round(meanF(get)))
+	}
+	// The headline metrics feed both the mean Results and the Replication
+	// half-widths from a single accumulation, so the two can't drift apart.
+	agg := func(dst *float64, get func(*Results) float64) MeanCI {
+		var w stats.Welford
+		for i := range runs {
+			w.Add(get(&runs[i]))
+		}
+		*dst = w.Mean()
+		return MeanCI{Mean: w.Mean(), HW: w.HalfWidth(conf)}
+	}
+	meanSummary := func(get func(*Results) *Summary) Summary {
+		return Summary{
+			N:      int(meanI(func(r *Results) float64 { return float64(get(r).N) })),
+			MeanMS: meanF(func(r *Results) float64 { return get(r).MeanMS }),
+			P95MS:  meanF(func(r *Results) float64 { return get(r).P95MS }),
+			HW95MS: meanF(func(r *Results) float64 { return get(r).HW95MS }),
+		}
+	}
+
+	mean.JoinRT = meanSummary(func(r *Results) *Summary { return &r.JoinRT })
+	mean.OLTPRT = meanSummary(func(r *Results) *Summary { return &r.OLTPRT })
+	mean.ScanRT = meanSummary(func(r *Results) *Summary { return &r.ScanRT })
+	mean.MeanMemWaitMS = meanF(func(r *Results) float64 { return r.MeanMemWaitMS })
+	mean.MaxCPU = meanF(func(r *Results) float64 { return r.MaxCPU })
+	mean.OLTPTPS = meanF(func(r *Results) float64 { return r.OLTPTPS })
+	mean.MemWaits = meanI(func(r *Results) float64 { return float64(r.MemWaits) })
+	mean.MemSteals = meanI(func(r *Results) float64 { return float64(r.MemSteals) })
+	mean.StolenPages = meanI(func(r *Results) float64 { return float64(r.StolenPages) })
+	mean.JoinsDone = meanI(func(r *Results) float64 { return float64(r.JoinsDone) })
+	mean.OLTPDone = meanI(func(r *Results) float64 { return float64(r.OLTPDone) })
+	mean.OLTPAborts = meanI(func(r *Results) float64 { return float64(r.OLTPAborts) })
+	mean.Deadlocks = meanI(func(r *Results) float64 { return float64(r.Deadlocks) })
+
+	rep := Replication{Reps: len(runs), Conf: conf}
+	rep.JoinRTMS = agg(&mean.JoinRT.MeanMS, func(r *Results) float64 { return r.JoinRT.MeanMS })
+	rep.JoinTPS = agg(&mean.JoinTPS, func(r *Results) float64 { return r.JoinTPS })
+	rep.OLTPRTMS = agg(&mean.OLTPRT.MeanMS, func(r *Results) float64 { return r.OLTPRT.MeanMS })
+	rep.CPUUtil = agg(&mean.CPUUtil, func(r *Results) float64 { return r.CPUUtil })
+	rep.DiskUtil = agg(&mean.DiskUtil, func(r *Results) float64 { return r.DiskUtil })
+	rep.MemUtil = agg(&mean.MemUtil, func(r *Results) float64 { return r.MemUtil })
+	rep.Degree = agg(&mean.AvgJoinDegree, func(r *Results) float64 { return r.AvgJoinDegree })
+	var tempIO float64
+	rep.TempIO = agg(&tempIO, func(r *Results) float64 { return float64(r.TempIOPages) })
+	mean.TempIOPages = int64(math.Round(tempIO))
+	return mean, rep
+}
+
+func checkConfidence(conf float64) error {
+	if !(conf > 0 && conf < 1) {
+		return fmt.Errorf("dynlb: confidence level %v outside (0, 1)", conf)
+	}
+	return nil
+}
