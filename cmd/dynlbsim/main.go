@@ -2,11 +2,16 @@
 // the workload, the chosen load-balancing strategy, response times,
 // utilizations and temporary-I/O volume.
 //
+// With -compare A,B both strategies run on identical replicate seeds
+// (common random numbers) and the report shows paired deltas and relative
+// improvements with paired-t confidence half-widths.
+//
 // Examples:
 //
 //	dynlbsim -strategy OPT-IO-CPU -npe 80 -qps 0.25
 //	dynlbsim -strategy psu-noIO+LUM -npe 40 -oltp b-nodes -tps 100 -disks 5
 //	dynlbsim -strategy MIN-IO-SUOPT -npe 80 -buffer 5 -disks 1 -qps 0.05
+//	dynlbsim -compare psu-opt+RANDOM,OPT-IO-CPU -npe 60 -reps 8
 package main
 
 import (
@@ -40,6 +45,7 @@ func run() (code int) {
 		seed     = flag.Int64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 1, "replicated runs across derived seeds (>= 2 adds confidence intervals)")
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
+		compare  = flag.String("compare", "", "compare two strategies A,B on this configuration (paired replicate seeds; overrides -strategy)")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -77,11 +83,6 @@ func run() (code int) {
 		return 2
 	}
 
-	st, err := dynlb.StrategyByName(*strategy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "-reps %d < 1\n", *reps)
 		return 2
@@ -105,6 +106,16 @@ func run() (code int) {
 				}
 			}
 		}()
+	}
+
+	if *compare != "" {
+		return runCompare(cfg, *compare, *seed, *reps, *ci)
+	}
+
+	st, err := dynlb.StrategyByName(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	fmt.Printf("dynlb: %d PEs, strategy %s, join %.3f QPS/PE, selectivity %.2f%%, OLTP %s\n",
@@ -161,6 +172,72 @@ func run() (code int) {
 		if rep.OLTPRTMS.Mean > 0 {
 			fmt.Printf("                oltp rt ±%.1f ms\n", rep.OLTPRTMS.HW)
 		}
+	}
+	return 0
+}
+
+// runCompare runs the paired head-to-head mode: both strategies simulate
+// every replicate seed (common random numbers), and the report shows the
+// per-metric deltas and relative improvements with paired-t half-widths
+// next to the wider intervals independent seeds would have produced.
+func runCompare(cfg dynlb.Config, spec string, seed int64, reps int, ci float64) int {
+	nameA, nameB, err := dynlb.SplitCompare(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sa, err := dynlb.StrategyByName(nameA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	sb, err := dynlb.StrategyByName(nameB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	fmt.Printf("dynlb: %d PEs, compare %s (A) vs %s (B), join %.3f QPS/PE, selectivity %.2f%%, OLTP %s\n",
+		cfg.NPE, sa.Name(), sb.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
+	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
+
+	cmp, err := dynlb.CompareReplicatedConf(cfg, sa, sb, dynlb.ReplicateSeeds(seed, reps), ci)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	p := cmp.Pair
+	fmt.Println()
+	fmt.Printf("paired runs:    %d replicates on shared seeds (common random numbers), %g%% CIs\n",
+		p.Reps, 100*p.Conf)
+	// The relative column shows the signed change of B against A
+	// (100·(B−A)/A = −Improv), so +10% always means "B is 10% higher" —
+	// lower is better for response times, higher is better for throughput;
+	// the sign never lies about the direction of the change.
+	fmt.Printf("%-14s %12s %12s %16s %18s\n", "metric", "A", "B", "delta (B-A)", "rel change of B")
+	line := func(name string, d dynlb.DeltaCI, format string, scale float64) {
+		change := -d.Improv.Mean
+		if change == 0 {
+			change = 0 // avoid "-0.0" when the improvement is exactly zero
+		}
+		fmt.Printf("%-14s %12s %12s %11s ±%-6s %+8.1f%% ±%-5.1f\n", name,
+			fmt.Sprintf(format, scale*d.A), fmt.Sprintf(format, scale*d.B),
+			fmt.Sprintf("%+.2f", scale*d.Delta.Mean), fmt.Sprintf("%.2f", scale*d.Delta.HW),
+			change, d.Improv.HW)
+	}
+	line("join rt ms", p.JoinRTMS, "%.1f", 1)
+	line("join tput/s", p.JoinTPS, "%.2f", 1)
+	if p.OLTPRTMS.A > 0 || p.OLTPRTMS.B > 0 {
+		line("oltp rt ms", p.OLTPRTMS, "%.1f", 1)
+	}
+	line("cpu %", p.CPUUtil, "%.1f", 100)
+	line("disk %", p.DiskUtil, "%.1f", 100)
+	line("mem %", p.MemUtil, "%.1f", 100)
+	line("degree", p.Degree, "%.1f", 1)
+	line("temp IO pages", p.TempIO, "%.0f", 1)
+	if p.Reps >= 2 {
+		fmt.Printf("\npairing:        rt correlation %.3f — paired rt improv ±%.1f%% vs ±%.1f%% with independent seeds\n",
+			p.JoinRTMS.Corr, p.JoinRTMS.Improv.HW, p.JoinRTMS.UnpairedImprovHW)
 	}
 	return 0
 }

@@ -7,6 +7,12 @@
 // and each row reports across-replicate means with Student-t confidence
 // half-widths at the -ci level.
 //
+// With -compare A,B the figure's workload configurations are swept under
+// the two named strategies head to head: every replicate runs both
+// strategies on the identical seed (common random numbers), and rows carry
+// the paired delta and relative improvement of B over A with paired-t
+// confidence half-widths — tighter than independent seeds would give.
+//
 // Examples:
 //
 //	experiments -fig 5                      # reproduce Fig. 5 at normal scale
@@ -15,6 +21,7 @@
 //	experiments -fig 6 -reps 5 -ci 0.99     # 5 seeds per point, 99% intervals
 //	experiments -fig all -parallel 1        # sequential (for timing baselines)
 //	experiments -fig 6 -cpuprofile cpu.out  # profile the simulator hot path
+//	experiments -fig 8 -reps 5 -compare psu-opt+RANDOM,OPT-IO-CPU
 package main
 
 import (
@@ -41,6 +48,7 @@ func run() (code int) {
 		seed     = flag.Int64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
+		compare  = flag.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
 		csvF     = flag.String("csv", "", "also write rows to this CSV file")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,15 +92,38 @@ func run() (code int) {
 		}()
 	}
 
+	var stratA, stratB string
+	if *compare != "" {
+		var err error
+		stratA, stratB, err = dynlb.SplitCompare(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
 	figs := []string{*fig}
 	if *fig == "all" {
 		figs = dynlb.Figures()
+		if *compare != "" {
+			// Figures 1a/1b/1c sweep the degree through their strategies and
+			// have no config axis to compare two strategies on.
+			figs = dynlb.CompareFigures()
+		}
 	}
 
 	var all []dynlb.Row
 	for _, f := range figs {
 		start := time.Now()
-		rows, err := dynlb.RunFigureReplicatedConf(f, sc, *seed, *reps, *ci, *parallel)
+		var (
+			rows []dynlb.Row
+			err  error
+		)
+		if *compare != "" {
+			rows, err = dynlb.RunFigureComparedConf(f, sc, *seed, stratA, stratB, *reps, *ci, *parallel)
+		} else {
+			rows, err = dynlb.RunFigureReplicatedConf(f, sc, *seed, *reps, *ci, *parallel)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

@@ -1,0 +1,178 @@
+package dynlb
+
+import (
+	"fmt"
+	"strings"
+
+	"dynlb/internal/stats"
+)
+
+// DeltaCI compares one metric between a baseline strategy A and a
+// challenger B across paired replicates run on identical seeds (common
+// random numbers). Delta is the per-replicate difference B − A with its
+// paired-t confidence half-width; Improv is the per-replicate relative
+// improvement 100·(A − B)/A — positive when B is smaller, i.e. better on
+// lower-is-better metrics such as response time. UnpairedDeltaHW and
+// UnpairedImprovHW are the half-widths the same replicate count would give
+// with independent seeds (the two-sample interval on the same data); with
+// the positive correlation common random numbers induce, the paired
+// half-widths are the tighter ones. Corr is the sample correlation of the
+// pairs — the share of run-to-run variance the shared seeds cancel.
+type DeltaCI struct {
+	A, B             float64 // across-replicate means under A and B
+	Delta            MeanCI  // B − A, paired-t half-width
+	Improv           MeanCI  // 100·(A − B)/A in %, paired-t half-width
+	UnpairedDeltaHW  float64 // independent-seed half-width on B − A
+	UnpairedImprovHW float64 // independent-seed half-width on the improvement
+	Corr             float64 // sample correlation of the paired replicates
+}
+
+// String renders the compared metric as "A→B Δmean ±hw (improv% ±hw)".
+func (d DeltaCI) String() string {
+	return fmt.Sprintf("%.2f→%.2f Δ%+.2f ±%.2f (%+.1f%% ±%.1f)",
+		d.A, d.B, d.Delta.Mean, d.Delta.HW, d.Improv.Mean, d.Improv.HW)
+}
+
+// PairedComparison carries the paired "A vs B" aggregates of every headline
+// metric for one configuration or sweep point, mirroring Replication's
+// metric set.
+type PairedComparison struct {
+	StrategyA string // baseline
+	StrategyB string // challenger
+	Reps      int    // pairs aggregated
+	Conf      float64
+
+	JoinRTMS DeltaCI // join response time, ms
+	JoinTPS  DeltaCI // join throughput, queries/s
+	OLTPRTMS DeltaCI // OLTP response time, ms (zero without OLTP workload)
+	CPUUtil  DeltaCI // mean CPU utilization, 0..1
+	DiskUtil DeltaCI // mean disk utilization, 0..1
+	MemUtil  DeltaCI // mean memory utilization, 0..1
+	Degree   DeltaCI // achieved degree of join parallelism
+	TempIO   DeltaCI // temporary-file I/O pages in the window
+}
+
+// Comparison bundles a paired head-to-head run of two strategies: the full
+// replicated outcome of each side (identical seed lists) plus the paired
+// per-metric aggregates.
+type Comparison struct {
+	A, B Replicated       // per-strategy replicated outcomes, same seeds
+	Pair PairedComparison // paired deltas and improvements with CIs
+}
+
+// SplitCompare parses an "A,B" comparison spec — two comma-separated
+// strategy names, as both commands' -compare flags take — into the
+// baseline and challenger names. It trims surrounding spaces and rejects
+// anything but exactly two non-empty parts.
+func SplitCompare(spec string) (a, b string, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("dynlb: comparison spec %q: want two comma-separated strategy names", spec)
+	}
+	a, b = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	if a == "" || b == "" {
+		return "", "", fmt.Errorf("dynlb: comparison spec %q: want two comma-separated strategy names", spec)
+	}
+	return a, b, nil
+}
+
+// Compare runs strategies A and B once each on cfg's seed and returns the
+// per-metric deltas and relative improvements (half-widths are zero with a
+// single pair; replicate with CompareReplicated for confidence intervals).
+func Compare(cfg Config, a, b Strategy) (Comparison, error) {
+	return CompareReplicatedConf(cfg, a, b, []int64{cfg.Seed}, DefaultConfidence)
+}
+
+// CompareReplicated runs strategies A and B on identical replicate seeds —
+// each seed simulated once per strategy, all runs fanned through the worker
+// pool — and aggregates the paired per-replicate deltas at the default 95%
+// confidence level. Derive seeds with ReplicateSeeds for the standard
+// deterministic stream.
+func CompareReplicated(cfg Config, a, b Strategy, seeds []int64) (Comparison, error) {
+	return CompareReplicatedConf(cfg, a, b, seeds, DefaultConfidence)
+}
+
+// CompareReplicatedConf is CompareReplicated at an explicit confidence
+// level in (0, 1).
+func CompareReplicatedConf(cfg Config, a, b Strategy, seeds []int64, conf float64) (Comparison, error) {
+	if len(seeds) == 0 {
+		return Comparison{}, fmt.Errorf("dynlb: CompareReplicated needs at least one seed")
+	}
+	if err := checkConfidence(conf); err != nil {
+		return Comparison{}, err
+	}
+	jobs := make([]runJob, 0, 2*len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		jobs = append(jobs, runJob{cfg: c, st: a}, runJob{cfg: c, st: b})
+	}
+	results, err := runJobs(jobs, 0)
+	if err != nil {
+		return Comparison{}, err
+	}
+	runsA := make([]Results, len(seeds))
+	runsB := make([]Results, len(seeds))
+	for i := range seeds {
+		runsA[i] = results[2*i]
+		runsB[i] = results[2*i+1]
+	}
+	meanA, repA := AggregateResults(runsA, conf)
+	meanB, repB := AggregateResults(runsB, conf)
+	pair, err := CompareResults(runsA, runsB, conf)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		A:    Replicated{Runs: runsA, Mean: meanA, Rep: repA},
+		B:    Replicated{Runs: runsB, Mean: meanB, Rep: repB},
+		Pair: pair,
+	}, nil
+}
+
+// CompareResults computes the paired aggregates of two equal-length result
+// slices where runsA[k] and runsB[k] simulated the same replicate seed
+// under strategies A and B. Pairs are consumed in slice order, so the
+// aggregate is deterministic for a fixed replicate set regardless of how
+// many workers produced the runs.
+func CompareResults(runsA, runsB []Results, conf float64) (PairedComparison, error) {
+	if len(runsA) == 0 {
+		return PairedComparison{}, fmt.Errorf("dynlb: CompareResults needs at least one pair")
+	}
+	if len(runsA) != len(runsB) {
+		return PairedComparison{}, fmt.Errorf("dynlb: CompareResults pair mismatch: %d A runs vs %d B runs", len(runsA), len(runsB))
+	}
+	if err := checkConfidence(conf); err != nil {
+		return PairedComparison{}, err
+	}
+	pc := PairedComparison{
+		StrategyA: runsA[0].Strategy,
+		StrategyB: runsB[0].Strategy,
+		Reps:      len(runsA),
+		Conf:      conf,
+	}
+	pair := func(dst *DeltaCI, get func(*Results) float64) {
+		var p stats.Paired
+		for k := range runsA {
+			p.Add(get(&runsA[k]), get(&runsB[k]))
+		}
+		*dst = DeltaCI{
+			A:                p.MeanA(),
+			B:                p.MeanB(),
+			Delta:            MeanCI{Mean: p.DeltaMean(), HW: p.DeltaHalfWidth(conf)},
+			Improv:           MeanCI{Mean: p.ImprovementMean(), HW: p.ImprovementHalfWidth(conf)},
+			UnpairedDeltaHW:  p.UnpairedDeltaHalfWidth(conf),
+			UnpairedImprovHW: p.UnpairedImprovementHalfWidth(conf),
+			Corr:             p.Correlation(),
+		}
+	}
+	pair(&pc.JoinRTMS, func(r *Results) float64 { return r.JoinRT.MeanMS })
+	pair(&pc.JoinTPS, func(r *Results) float64 { return r.JoinTPS })
+	pair(&pc.OLTPRTMS, func(r *Results) float64 { return r.OLTPRT.MeanMS })
+	pair(&pc.CPUUtil, func(r *Results) float64 { return r.CPUUtil })
+	pair(&pc.DiskUtil, func(r *Results) float64 { return r.DiskUtil })
+	pair(&pc.MemUtil, func(r *Results) float64 { return r.MemUtil })
+	pair(&pc.Degree, func(r *Results) float64 { return r.AvgJoinDegree })
+	pair(&pc.TempIO, func(r *Results) float64 { return float64(r.TempIOPages) })
+	return pc, nil
+}

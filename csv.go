@@ -14,19 +14,28 @@ import (
 // columns are appended — reps, conf and the across-replicate confidence
 // half-widths of response time, throughput and CPU/disk/memory utilization
 // (the means are already in the base columns, which a replicated sweep
-// fills with across-replicate averages). Unreplicated output is unchanged,
-// so goldens locked at reps=1 stay valid.
+// fills with across-replicate averages). When any row carries paired
+// comparison aggregates (Row.Cmp from a compared sweep), comparison columns
+// follow: the strategy pair, both response-time means, the paired delta and
+// relative improvement with their paired-t half-widths, the half-width an
+// independent-seed experiment would give, and the replicate correlation.
+// Unreplicated, uncompared output is unchanged, so goldens locked at reps=1
+// stay valid.
 func WriteRowsCSV(out io.Writer, rows []Row) error {
 	w := csv.NewWriter(out)
 
 	keys := map[string]bool{}
 	replicated := false
+	compared := false
 	for _, r := range rows {
 		for k := range r.Extra {
 			keys[k] = true
 		}
 		if r.Rep != nil {
 			replicated = true
+		}
+		if r.Cmp != nil {
+			compared = true
 		}
 	}
 	extras := make([]string, 0, len(keys))
@@ -39,6 +48,12 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 	if replicated {
 		header = append(header,
 			"reps", "conf", "rt_hw_ms", "tput_qps", "tput_hw_qps", "cpu_hw", "disk_hw", "mem_hw")
+	}
+	if compared {
+		header = append(header,
+			"strategy_a", "strategy_b", "rt_a_ms", "rt_b_ms",
+			"rt_delta_ms", "rt_delta_hw_ms", "rt_improv_pct", "rt_improv_hw_pct",
+			"rt_unpaired_improv_hw_pct", "rt_corr")
 	}
 	if err := w.Write(header); err != nil {
 		return err
@@ -73,6 +88,25 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 					strconv.FormatFloat(r.Rep.CPUUtil.HW, 'f', 4, 64),
 					strconv.FormatFloat(r.Rep.DiskUtil.HW, 'f', 4, 64),
 					strconv.FormatFloat(r.Rep.MemUtil.HW, 'f', 4, 64),
+				)
+			}
+		}
+		if compared {
+			if r.Cmp == nil {
+				rec = append(rec, "", "", "", "", "", "", "", "", "", "")
+			} else {
+				c := r.Cmp.JoinRTMS
+				rec = append(rec,
+					r.Cmp.StrategyA,
+					r.Cmp.StrategyB,
+					strconv.FormatFloat(c.A, 'f', 2, 64),
+					strconv.FormatFloat(c.B, 'f', 2, 64),
+					strconv.FormatFloat(c.Delta.Mean, 'f', 2, 64),
+					strconv.FormatFloat(c.Delta.HW, 'f', 2, 64),
+					strconv.FormatFloat(c.Improv.Mean, 'f', 3, 64),
+					strconv.FormatFloat(c.Improv.HW, 'f', 3, 64),
+					strconv.FormatFloat(c.UnpairedImprovHW, 'f', 3, 64),
+					strconv.FormatFloat(c.Corr, 'f', 4, 64),
 				)
 			}
 		}

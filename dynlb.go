@@ -25,6 +25,12 @@
 // of a figure sweep, and ReplicateSeeds derives the standard seed stream
 // (replicate 0 is the base seed; further replicates come from a
 // splitmix64 stream, independent of worker count).
+//
+// For head-to-head strategy comparisons, Compare/CompareReplicated and
+// RunFigureCompared run two strategies on identical replicate seeds
+// (common random numbers) and report paired per-metric deltas and relative
+// improvements whose paired-t confidence intervals are tighter than
+// independent seeds would give.
 package dynlb
 
 import (

@@ -55,7 +55,9 @@ func (s Scale) windows() (warmup, measure sim.Duration) {
 // the measured response time and the full run results. In a replicated
 // sweep (RunFigureReplicated, reps >= 2) the scalar metrics — JoinRTMS,
 // Extra, Res — are across-replicate means and Rep carries the confidence
-// half-widths; in an unreplicated sweep Rep is nil.
+// half-widths; in an unreplicated sweep Rep is nil. In a compared sweep
+// (RunFigureCompared) the scalar metrics are the challenger strategy B's
+// and Cmp carries the paired A-vs-B deltas; otherwise Cmp is nil.
 type Row struct {
 	Figure string
 	Series string  // curve label: strategy name or mode
@@ -65,7 +67,8 @@ type Row struct {
 	JoinRTMS float64
 	Extra    map[string]float64 // figure-specific values (improvement %, degree, ...)
 	Res      Results
-	Rep      *Replication // replicate aggregates; nil when the sweep ran one seed per point
+	Rep      *Replication      // replicate aggregates; nil when the sweep ran one seed per point
+	Cmp      *PairedComparison // paired A-vs-B aggregates; nil outside compared sweeps
 }
 
 // Figures lists the reproducible figure identifiers of the paper's
@@ -167,6 +170,186 @@ func RunFigureReplicatedConf(fig string, scale Scale, seed int64, reps int, conf
 	return p.build(outs)
 }
 
+// CompareFigures lists the distinct workload sweeps RunFigureCompared
+// accepts: the strategy-sweep figures, whose x axis is a configuration
+// axis (system size, selectivity) that two strategies can be swept along
+// head to head. Figure "5" is also accepted but not listed — it shares
+// figure 6's workload axis (the two differ only in which strategies they
+// sweep, the dimension a comparison replaces), so listing both would make
+// "-fig all -compare" simulate the identical sweep twice. Figures
+// 1a/1b/1c sweep the degree of parallelism through their strategies and
+// have no config axis to compare on.
+func CompareFigures() []string {
+	return []string{"6", "7", "8", "9a", "9b"}
+}
+
+// comparePoint is one workload configuration of a figure sweep — a point
+// of the figure's config axis with its row coordinates, stripped of the
+// strategy dimension. singleUser marks the zero-arrival-rate reference
+// points, which some planners route differently (fig 5/6 run the
+// single-user reference under psu-opt only).
+type comparePoint struct {
+	series     string
+	x          float64
+	xlabel     string
+	singleUser bool
+	cfg        Config
+}
+
+// planCompareFigure lists the distinct workload configurations of a
+// strategy-sweep figure — the figure's config axis with its per-point
+// arrival rates, stripped of the strategy dimension. It is the single
+// source of those workloads: the figure planners (planBySize, plan7,
+// plan8, plan9) expand the same points across their strategy lists, so a
+// compared sweep always runs exactly the configurations the plain figure
+// sweep runs.
+func planCompareFigure(fig string, scale Scale, seed int64) ([]comparePoint, error) {
+	var pts []comparePoint
+	switch fig {
+	case "5", "6":
+		for _, n := range figSizes {
+			mu := baseCfg(scale, seed)
+			mu.NPE = n
+			mu.JoinQPSPerPE = 0.25
+			su := mu
+			su.JoinQPSPerPE = 0
+			pts = append(pts,
+				comparePoint{series: "multi-user 0.25 QPS/PE", x: float64(n), xlabel: "#PE", cfg: mu},
+				comparePoint{series: "single-user", x: float64(n), xlabel: "#PE", singleUser: true, cfg: su})
+		}
+	case "7":
+		for _, n := range []int{20, 30, 40, 60, 80} {
+			for _, series := range []struct {
+				qps   float64
+				label string
+			}{
+				{0.05, "multi-user 0.05 QPS/PE"},
+				{0.025, "multi-user 0.025 QPS/PE"},
+				{0, "single-user"},
+			} {
+				cfg := baseCfg(scale, seed)
+				cfg.NPE = n
+				cfg.BufferPages = 5
+				cfg.DisksPerPE = 1
+				cfg.JoinQPSPerPE = series.qps
+				pts = append(pts, comparePoint{
+					series: series.label, x: float64(n), xlabel: "#PE",
+					singleUser: series.qps == 0, cfg: cfg,
+				})
+			}
+		}
+	case "8":
+		for _, sel := range []float64{0.001, 0.01, 0.02, 0.05} {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = 60
+			cfg.ScanSelectivity = sel
+			cfg.JoinQPSPerPE = fig8Rates[sel]
+			pts = append(pts, comparePoint{series: "60 PE", x: sel * 100, xlabel: "selectivity%", cfg: cfg})
+		}
+	case "9a", "9b":
+		placement := config.OLTPOnANode
+		if fig == "9b" {
+			placement = config.OLTPOnBNode
+		}
+		for _, n := range figSizes {
+			cfg := baseCfg(scale, seed)
+			cfg.NPE = n
+			cfg.DisksPerPE = 5
+			cfg.JoinQPSPerPE = 0.075
+			cfg.OLTP.Placement = placement
+			cfg.OLTP.TPSPerNode = 100
+			pts = append(pts, comparePoint{series: "OLTP on " + placement.String(), x: float64(n), xlabel: "#PE", cfg: cfg})
+		}
+	case "1a", "1b", "1c":
+		return nil, fmt.Errorf("dynlb: figure %s sweeps the degree through its strategies and has no config axis to compare on (comparable figures: %v)", fig, CompareFigures())
+	default:
+		return nil, fmt.Errorf("dynlb: unknown figure %q (comparable: %v)", fig, CompareFigures())
+	}
+	return pts, nil
+}
+
+// RunFigureCompared sweeps a figure's workload configurations under two
+// strategies head to head: every (point, replicate) pair simulates once
+// under the baseline stratA and once under the challenger stratB on the
+// identical replicate seed (common random numbers), all jobs sharing one
+// worker pool. Each returned row carries strategy B's across-replicate
+// means in the scalar metrics and the paired per-metric deltas and relative
+// improvements — with paired-t confidence half-widths at the default 95%
+// level — in Row.Cmp (plus B's Replication in Row.Rep when reps >= 2).
+//
+// Because both strategies of a pair share their seed, the per-replicate
+// deltas cancel the workload noise common to the two runs: the paired
+// half-widths are tighter than the UnpairedDeltaHW/UnpairedImprovHW an
+// independent-seed experiment of the same size yields. Rows are a pure
+// function of (fig, scale, seed, strategies, reps): bit-identical at any
+// worker count.
+func RunFigureCompared(fig string, scale Scale, seed int64, stratA, stratB string, reps, workers int) ([]Row, error) {
+	return RunFigureComparedConf(fig, scale, seed, stratA, stratB, reps, DefaultConfidence, workers)
+}
+
+// RunFigureComparedConf is RunFigureCompared at an explicit confidence
+// level in (0, 1).
+func RunFigureComparedConf(fig string, scale Scale, seed int64, stratA, stratB string, reps int, conf float64, workers int) ([]Row, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("dynlb: RunFigureCompared needs reps >= 1, got %d", reps)
+	}
+	if err := checkConfidence(conf); err != nil {
+		return nil, err
+	}
+	sa, err := core.ByName(stratA)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := core.ByName(stratB)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := planCompareFigure(fig, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	seeds := stats.ReplicateSeeds(seed, reps)
+	// Job layout: ((point*reps)+replicate)*2 + {A: 0, B: 1} — fixed, so the
+	// paired aggregation below is independent of worker scheduling.
+	jobs := make([]runJob, 0, len(pts)*reps*2)
+	for _, pt := range pts {
+		for _, s := range seeds {
+			c := pt.cfg
+			c.Seed = s
+			jobs = append(jobs, runJob{cfg: c, st: sa}, runJob{cfg: c, st: sb})
+		}
+	}
+	results, err := runJobs(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(pts))
+	for i, pt := range pts {
+		runsA := make([]Results, reps)
+		runsB := make([]Results, reps)
+		for k := 0; k < reps; k++ {
+			runsA[k] = results[(i*reps+k)*2]
+			runsB[k] = results[(i*reps+k)*2+1]
+		}
+		meanB, repB := AggregateResults(runsB, conf)
+		pair, err := CompareResults(runsA, runsB, conf)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Row{
+			Figure: fig, Series: pt.series, X: pt.x, XLabel: pt.xlabel,
+			JoinRTMS: meanB.JoinRT.MeanMS,
+			Res:      meanB,
+			Cmp:      &pair,
+		}
+		if reps >= 2 {
+			rep := repB
+			rows[i].Rep = &rep
+		}
+	}
+	return rows, nil
+}
+
 // runJob is one independent simulation point of a figure sweep: a full
 // configuration plus the strategy to run it under.
 type runJob struct {
@@ -208,10 +391,8 @@ func planFigure(fig string, scale Scale, seed int64) (*figurePlan, error) {
 		return plan7(scale, seed)
 	case "8":
 		return plan8(scale, seed)
-	case "9a":
-		return plan9(scale, seed, config.OLTPOnANode, "9a")
-	case "9b":
-		return plan9(scale, seed, config.OLTPOnBNode, "9b")
+	case "9a", "9b":
+		return plan9(scale, seed, fig)
 	default:
 		return nil, fmt.Errorf("dynlb: unknown figure %q (known: %v)", fig, Figures())
 	}
@@ -410,24 +591,27 @@ func (s *sizeSweep) plan(post func(r *Row, res Results)) *figurePlan {
 }
 
 // planBySize builds the standard "strategies × system sizes plus
-// single-user reference" sweep shared by Figs. 5 and 6.
+// single-user reference" sweep shared by Figs. 5 and 6, expanding the
+// shared workload axis (planCompareFigure) across the strategy list.
 func planBySize(fig string, scale Scale, seed int64, strategies []string) (*figurePlan, error) {
+	pts, err := planCompareFigure("6", scale, seed) // figs 5 and 6 share the workload axis
+	if err != nil {
+		return nil, err
+	}
 	sweep := sizeSweep{fig: fig}
-	for _, n := range figSizes {
-		for _, name := range strategies {
-			cfg := baseCfg(scale, seed)
-			cfg.NPE = n
-			cfg.JoinQPSPerPE = 0.25
-			if err := sweep.add(cfg, name, name, n); err != nil {
+	for _, pt := range pts {
+		n := int(pt.x)
+		if pt.singleUser {
+			// Single-user reference with psu-opt processors.
+			if err := sweep.add(pt.cfg, "psu-opt+RANDOM", "single-user (psu-opt)", n); err != nil {
 				return nil, err
 			}
+			continue
 		}
-		// Single-user reference with psu-opt processors.
-		cfg := baseCfg(scale, seed)
-		cfg.NPE = n
-		cfg.JoinQPSPerPE = 0
-		if err := sweep.add(cfg, "psu-opt+RANDOM", "single-user (psu-opt)", n); err != nil {
-			return nil, err
+		for _, name := range strategies {
+			if err := sweep.add(pt.cfg, name, name, n); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return sweep.plan(nil), nil
@@ -450,29 +634,15 @@ func plan6(scale Scale, seed int64) (*figurePlan, error) {
 // disk per PE, lower arrival rates; it reports the achieved degrees
 // alongside the response times (the paper annotates them on the bars).
 func plan7(scale Scale, seed int64) (*figurePlan, error) {
-	sizes := []int{20, 30, 40, 60, 80}
-	mk := func(n int, qps float64) Config {
-		cfg := baseCfg(scale, seed)
-		cfg.NPE = n
-		cfg.BufferPages = 5
-		cfg.DisksPerPE = 1
-		cfg.JoinQPSPerPE = qps
-		return cfg
+	pts, err := planCompareFigure("7", scale, seed)
+	if err != nil {
+		return nil, err
 	}
 	sweep := sizeSweep{fig: "7"}
-	for _, n := range sizes {
-		for _, series := range []struct {
-			qps   float64
-			label string
-		}{
-			{0.05, "multi-user 0.05 QPS/PE"},
-			{0.025, "multi-user 0.025 QPS/PE"},
-			{0, "single-user"},
-		} {
-			for _, name := range []string{"pmu-cpu+LUM", "MIN-IO-SUOPT"} {
-				if err := sweep.add(mk(n, series.qps), name, name+" / "+series.label, n); err != nil {
-					return nil, err
-				}
+	for _, pt := range pts {
+		for _, name := range []string{"pmu-cpu+LUM", "MIN-IO-SUOPT"} {
+			if err := sweep.add(pt.cfg, name, name+" / "+pt.series, int(pt.x)); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -489,24 +659,20 @@ var fig8Rates = map[float64]float64{
 }
 
 func plan8(scale Scale, seed int64) (*figurePlan, error) {
-	selectivities := []float64{0.001, 0.01, 0.02, 0.05}
 	strategies := []string{
 		"psu-noIO+LUM", "MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+LUM", "OPT-IO-CPU",
+	}
+	pts, err := planCompareFigure("8", scale, seed)
+	if err != nil {
+		return nil, err
 	}
 	// The psu-opt+RANDOM baseline of each selectivity is itself a sweep
 	// point: job layout is [base, strategies...] per selectivity, and the
 	// improvement percentages are computed after the pool drains.
 	var jobs []runJob
-	for _, sel := range selectivities {
-		mk := func() Config {
-			cfg := baseCfg(scale, seed)
-			cfg.NPE = 60
-			cfg.ScanSelectivity = sel
-			cfg.JoinQPSPerPE = fig8Rates[sel]
-			return cfg
-		}
+	for _, pt := range pts {
 		for _, name := range append([]string{"psu-opt+RANDOM"}, strategies...) {
-			j, err := jobFor(mk(), name)
+			j, err := jobFor(pt.cfg, name)
 			if err != nil {
 				return nil, err
 			}
@@ -516,7 +682,7 @@ func plan8(scale Scale, seed int64) (*figurePlan, error) {
 	build := func(outs []runOut) ([]Row, error) {
 		var rows []Row
 		perSel := 1 + len(strategies)
-		for si, sel := range selectivities {
+		for si, pt := range pts {
 			base := outs[si*perSel].res
 			for ni, name := range strategies {
 				out := outs[si*perSel+1+ni]
@@ -526,7 +692,7 @@ func plan8(scale Scale, seed int64) (*figurePlan, error) {
 					improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
 				}
 				rows = append(rows, Row{
-					Figure: "8", Series: name, X: sel * 100, XLabel: "selectivity%",
+					Figure: "8", Series: name, X: pt.x, XLabel: pt.xlabel,
 					JoinRTMS: res.JoinRT.MeanMS,
 					Extra: map[string]float64{
 						"improvement%": improvement,
@@ -543,20 +709,18 @@ func plan8(scale Scale, seed int64) (*figurePlan, error) {
 	return &figurePlan{jobs: jobs, build: build}, nil
 }
 
-func plan9(scale Scale, seed int64, placement config.OLTPPlacement, figure string) (*figurePlan, error) {
+func plan9(scale Scale, seed int64, figure string) (*figurePlan, error) {
 	strategies := []string{
 		"psu-opt+RANDOM", "psu-noIO+RANDOM", "psu-noIO+LUM", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
+	pts, err := planCompareFigure(figure, scale, seed)
+	if err != nil {
+		return nil, err
+	}
 	sweep := sizeSweep{fig: figure}
-	for _, n := range figSizes {
+	for _, pt := range pts {
 		for _, name := range strategies {
-			cfg := baseCfg(scale, seed)
-			cfg.NPE = n
-			cfg.DisksPerPE = 5
-			cfg.JoinQPSPerPE = 0.075
-			cfg.OLTP.Placement = placement
-			cfg.OLTP.TPSPerNode = 100
-			if err := sweep.add(cfg, name, name, n); err != nil {
+			if err := sweep.add(pt.cfg, name, name, int(pt.x)); err != nil {
 				return nil, err
 			}
 		}
@@ -618,6 +782,12 @@ func FormatRows(rows []Row) string {
 			}
 			if r.Rep != nil {
 				line += fmt.Sprintf("  [%d reps: ±%.1fms @%g%%]", r.Rep.Reps, r.Rep.JoinRTMS.HW, 100*r.Rep.Conf)
+			}
+			if r.Cmp != nil {
+				c := r.Cmp.JoinRTMS
+				line += fmt.Sprintf("  [%s vs %s: Δ%+.1fms ±%.1f, improv %.1f%% ±%.1f (unpaired ±%.1f)]",
+					r.Cmp.StrategyB, r.Cmp.StrategyA, c.Delta.Mean, c.Delta.HW,
+					c.Improv.Mean, c.Improv.HW, c.UnpairedImprovHW)
 			}
 			out += line + "\n"
 		}

@@ -12,27 +12,34 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden CSV files under testdata/")
 
-// Golden-row regression tests: the quick-scale fig1a and fig6 sweeps at
-// seed 1, reps 1 are locked as exact CSV bytes. Any kernel, engine, cost
-// model or row-shaping change that moves a reproduced curve — even in the
-// last decimal — fails here and must either be fixed or explicitly
-// re-golded with `go test -run TestGolden -update .`. The simulator is a
+// Golden-row regression tests: the quick-scale fig1a and fig6 sweeps (seed
+// 1, reps 1) and the fig8 paired-comparison sweep (seed 1, reps 2) are
+// locked as exact CSV bytes. Any kernel, engine, cost model, statistics or
+// row-shaping change that moves a reproduced curve — even in the last
+// decimal — fails here and must either be fixed or explicitly re-golded
+// with `go test -run TestGolden -update .`. The simulator is a
 // deterministic integer-time DES and Go floating point is reproducible on
 // amd64, so the bytes are stable across runs and worker counts (the sweeps
 // run on NumCPU workers, so the goldens double as a parallelism-invariance
 // check).
 
-func goldenSweep(t *testing.T, fig, file string) {
+// skipUnlessGoldenArch skips before any sweep simulates: other
+// architectures may fuse multiply-adds, shifting metrics in the last
+// decimal, and the goldens are amd64 bytes — running minutes of simulation
+// just to skip would waste the machine.
+func skipUnlessGoldenArch(t *testing.T) {
 	t.Helper()
 	if runtime.GOARCH != "amd64" {
-		// Other architectures may fuse multiply-adds, shifting metrics in
-		// the last decimal; the goldens are amd64 bytes.
 		t.Skipf("golden bytes recorded on amd64; GOARCH=%s may differ in the last float digit", runtime.GOARCH)
 	}
-	rows, err := RunFigureReplicated(fig, ScaleQuick, 1, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+}
+
+// lockGolden compares the rows' CSV bytes against testdata/file. With
+// -update it creates testdata/ if missing and rewrites the golden, printing
+// to stderr which files were rewritten (and which were already current), so
+// the re-gold is visible without -v.
+func lockGolden(t *testing.T, file string, rows []Row) {
+	t.Helper()
 	var buf bytes.Buffer
 	if err := WriteRowsCSV(&buf, rows); err != nil {
 		t.Fatal(err)
@@ -42,10 +49,14 @@ func goldenSweep(t *testing.T, fig, file string) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
+		if old, err := os.ReadFile(path); err == nil && bytes.Equal(old, buf.Bytes()) {
+			fmt.Fprintf(os.Stderr, "golden: %s already current (%d rows)\n", path, len(rows))
+			return
+		}
 		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d rows)", path, len(rows))
+		fmt.Fprintf(os.Stderr, "golden: rewrote %s (%d rows, %d bytes)\n", path, len(rows), buf.Len())
 		return
 	}
 	want, err := os.ReadFile(path)
@@ -53,9 +64,19 @@ func goldenSweep(t *testing.T, fig, file string) {
 		t.Fatalf("missing golden (run with -update to create): %v", err)
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("figure %s quick-scale CSV drifted from %s.\nRe-run with -update if the change is intentional.\n%s",
-			fig, path, diffLines(want, buf.Bytes()))
+		t.Fatalf("quick-scale CSV drifted from %s.\nRe-run with -update if the change is intentional.\n%s",
+			path, diffLines(want, buf.Bytes()))
 	}
+}
+
+func goldenSweep(t *testing.T, fig, file string) {
+	t.Helper()
+	skipUnlessGoldenArch(t)
+	rows, err := RunFigureReplicated(fig, ScaleQuick, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockGolden(t, file, rows)
 }
 
 // diffLines renders the first few differing lines of two CSV bodies.
@@ -96,4 +117,23 @@ func TestGoldenFig6Quick(t *testing.T) {
 		t.Skip("multi-minute simulation sweep on small machines")
 	}
 	goldenSweep(t, "6", "fig6_quick.csv")
+}
+
+// TestGoldenFig8CompareQuick locks the paired-comparison CSV shape and
+// bytes: Fig. 8's workload axis swept under psu-opt+RANDOM (the paper's
+// baseline) vs OPT-IO-CPU with three shared replicate seeds — replication
+// plus comparison columns in one file. Three replicates, not two: with
+// n=2 any non-constant pair has sample correlation exactly ±1, so the
+// locked rt_corr values would be degenerate rather than evidence of the
+// variance reduction.
+func TestGoldenFig8CompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	skipUnlessGoldenArch(t)
+	rows, err := RunFigureCompared("8", ScaleQuick, 1, "psu-opt+RANDOM", "OPT-IO-CPU", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockGolden(t, "fig8_compare_quick.csv", rows)
 }

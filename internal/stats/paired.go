@@ -1,0 +1,103 @@
+package stats
+
+import "math"
+
+// Paired accumulates paired observations (a_k, b_k) — the k-th replicate
+// seed run under strategy A and again under strategy B — and reports the
+// paired-sample statistics of a head-to-head comparison under common random
+// numbers. Because both columns of a pair share their random-number stream,
+// the per-pair differences d_k = b_k − a_k cancel the seed-to-seed workload
+// variation the two runs have in common: Var(d) = Var(a) + Var(b) −
+// 2·Cov(a, b), so whenever the pairing induces positive correlation the
+// paired-t interval on the mean difference is tighter than the interval a
+// two-independent-sample experiment of the same size would give.
+//
+// All moments come from Welford accumulators fed in replicate order, so a
+// Paired filled from a fixed replicate set is deterministic regardless of
+// how many workers produced the underlying runs.
+type Paired struct {
+	a, b   Welford // per-strategy marginals
+	delta  Welford // b_k − a_k
+	improv Welford // 100·(a_k − b_k)/a_k; pairs with a_k = 0 are skipped
+}
+
+// Add records one pair: the same replicate's observation under A and
+// under B.
+func (p *Paired) Add(a, b float64) {
+	p.a.Add(a)
+	p.b.Add(b)
+	p.delta.Add(b - a)
+	if a != 0 {
+		p.improv.Add(100 * (a - b) / a)
+	}
+}
+
+// N returns the number of pairs.
+func (p *Paired) N() int { return p.a.N() }
+
+// MeanA returns the mean of the A column.
+func (p *Paired) MeanA() float64 { return p.a.Mean() }
+
+// MeanB returns the mean of the B column.
+func (p *Paired) MeanB() float64 { return p.b.Mean() }
+
+// DeltaMean returns the mean per-pair difference B − A.
+func (p *Paired) DeltaMean() float64 { return p.delta.Mean() }
+
+// DeltaHalfWidth returns the paired-t confidence half-width of the mean
+// difference B − A at level conf: the one-sample interval on the per-pair
+// deltas, with n−1 degrees of freedom (0 if fewer than two pairs).
+func (p *Paired) DeltaHalfWidth(conf float64) float64 { return p.delta.HalfWidth(conf) }
+
+// ImprovementMean returns the mean per-pair relative improvement of B over
+// A in percent: 100·(a_k − b_k)/a_k, positive when B is smaller (better,
+// on lower-is-better metrics such as response time). Pairs whose A value
+// is exactly zero carry no relative information and are excluded.
+func (p *Paired) ImprovementMean() float64 { return p.improv.Mean() }
+
+// ImprovementN returns the number of pairs contributing to the improvement
+// ratio (pairs with a_k = 0 are excluded).
+func (p *Paired) ImprovementN() int { return p.improv.N() }
+
+// ImprovementHalfWidth returns the paired-t confidence half-width of the
+// mean relative improvement at level conf.
+func (p *Paired) ImprovementHalfWidth(conf float64) float64 { return p.improv.HalfWidth(conf) }
+
+// UnpairedDeltaHalfWidth returns the confidence half-width the mean
+// difference would have if the two columns were treated as independent
+// samples — the interval a two-independent-seed experiment of the same
+// size reports: t(conf, n−1) · sqrt((s²_A + s²_B)/n). It uses the same
+// conservative n−1 degrees of freedom as the paired interval, so the two
+// half-widths differ only in their variance term; with positively
+// correlated pairs (common random numbers) the paired width is the smaller
+// one.
+func (p *Paired) UnpairedDeltaHalfWidth(conf float64) float64 {
+	n := p.a.N()
+	if n < 2 {
+		return 0
+	}
+	return TQuantile(conf, n-1) * math.Sqrt((p.a.Variance()+p.b.Variance())/float64(n))
+}
+
+// UnpairedImprovementHalfWidth maps UnpairedDeltaHalfWidth onto the
+// relative-improvement scale by the delta method at the A mean:
+// 100·HW/|mean(A)| (0 when the A mean is zero).
+func (p *Paired) UnpairedImprovementHalfWidth(conf float64) float64 {
+	if p.a.Mean() == 0 {
+		return 0
+	}
+	return 100 * p.UnpairedDeltaHalfWidth(conf) / math.Abs(p.a.Mean())
+}
+
+// Correlation returns the sample correlation of the pairs implied by the
+// marginal and delta variances, (s²_A + s²_B − s²_D) / (2·s_A·s_B),
+// clamped to [−1, 1] (0 when either column is constant). It quantifies how
+// much variance the common random numbers cancel.
+func (p *Paired) Correlation() float64 {
+	sa, sb := p.a.Stddev(), p.b.Stddev()
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	c := (p.a.Variance() + p.b.Variance() - p.delta.Variance()) / (2 * sa * sb)
+	return math.Max(-1, math.Min(1, c))
+}

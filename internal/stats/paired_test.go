@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// tCrit95df2 is TQuantile(0.95, 2), cross-checked against published tables.
+const tCrit95df2 = 4.302652729911275
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestPairedHandValues locks the accumulator against hand-computed
+// statistics on perfectly correlated pairs: b_k is a constant 10% below
+// a_k, so the improvement stream is exactly {10, 10, 10} (zero spread) and
+// the implied correlation is exactly 1.
+func TestPairedHandValues(t *testing.T) {
+	var p Paired
+	for _, pair := range [][2]float64{{100, 90}, {110, 99}, {120, 108}} {
+		p.Add(pair[0], pair[1])
+	}
+	if p.N() != 3 || p.ImprovementN() != 3 {
+		t.Fatalf("N=%d ImprovementN=%d, want 3", p.N(), p.ImprovementN())
+	}
+	approx(t, "MeanA", p.MeanA(), 110, 1e-12)
+	approx(t, "MeanB", p.MeanB(), 99, 1e-12)
+	approx(t, "DeltaMean", p.DeltaMean(), -11, 1e-12)
+	// deltas {-10, -11, -12}: sd 1, HW = t·1/sqrt(3).
+	approx(t, "DeltaHalfWidth", p.DeltaHalfWidth(0.95), tCrit95df2/math.Sqrt(3), 1e-9)
+	approx(t, "ImprovementMean", p.ImprovementMean(), 10, 1e-12)
+	approx(t, "ImprovementHalfWidth", p.ImprovementHalfWidth(0.95), 0, 1e-9)
+	// s²A = 100, s²B = 81: unpaired HW = t·sqrt(181/3).
+	wantUnpaired := tCrit95df2 * math.Sqrt(181.0/3)
+	approx(t, "UnpairedDeltaHalfWidth", p.UnpairedDeltaHalfWidth(0.95), wantUnpaired, 1e-6)
+	approx(t, "UnpairedImprovementHalfWidth", p.UnpairedImprovementHalfWidth(0.95), 100*wantUnpaired/110, 1e-6)
+	// corr = (100 + 81 − 1) / (2·10·9) = 1 exactly.
+	approx(t, "Correlation", p.Correlation(), 1, 1e-12)
+
+	if hw, unp := p.DeltaHalfWidth(0.95), p.UnpairedDeltaHalfWidth(0.95); hw >= unp {
+		t.Errorf("positively correlated pairs: paired HW %v not below unpaired %v", hw, unp)
+	}
+}
+
+// TestPairedNegativeCorrelation: with anti-correlated pairs the variance
+// cancellation reverses — the paired interval is WIDER than the unpaired
+// one, and the implied correlation is −1. (Common random numbers only pay
+// off with positive correlation; the accumulator must report, not assume.)
+func TestPairedNegativeCorrelation(t *testing.T) {
+	var p Paired
+	for _, pair := range [][2]float64{{100, 108}, {110, 99}, {120, 90}} {
+		p.Add(pair[0], pair[1])
+	}
+	approx(t, "Correlation", p.Correlation(), -1, 1e-12)
+	if hw, unp := p.DeltaHalfWidth(0.95), p.UnpairedDeltaHalfWidth(0.95); hw <= unp {
+		t.Errorf("anti-correlated pairs: paired HW %v not above unpaired %v", hw, unp)
+	}
+}
+
+// TestPairedZeroBaseline: pairs whose A value is zero carry no relative
+// improvement and are excluded from the ratio stream only.
+func TestPairedZeroBaseline(t *testing.T) {
+	var p Paired
+	p.Add(0, 5)
+	p.Add(100, 80)
+	p.Add(200, 160)
+	if p.N() != 3 {
+		t.Errorf("N = %d, want 3", p.N())
+	}
+	if p.ImprovementN() != 2 {
+		t.Errorf("ImprovementN = %d, want 2 (a=0 pair excluded)", p.ImprovementN())
+	}
+	approx(t, "ImprovementMean", p.ImprovementMean(), 20, 1e-12)
+}
+
+// TestPairedDegenerate: fewer than two pairs yield zero half-widths, and a
+// constant column yields zero correlation.
+func TestPairedDegenerate(t *testing.T) {
+	var p Paired
+	if p.DeltaHalfWidth(0.95) != 0 || p.UnpairedDeltaHalfWidth(0.95) != 0 || p.Correlation() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+	p.Add(10, 8)
+	if p.DeltaHalfWidth(0.95) != 0 || p.UnpairedDeltaHalfWidth(0.95) != 0 {
+		t.Error("single pair produced a half-width")
+	}
+	var c Paired
+	c.Add(5, 1)
+	c.Add(5, 2)
+	c.Add(5, 3)
+	if c.Correlation() != 0 {
+		t.Errorf("constant A column: correlation %v, want 0", c.Correlation())
+	}
+	if c.UnpairedImprovementHalfWidth(0.95) == 0 {
+		t.Error("nonzero A mean with varying B should give a nonzero unpaired improvement HW")
+	}
+	var z Paired
+	z.Add(0, 1)
+	z.Add(0, 2)
+	if z.UnpairedImprovementHalfWidth(0.95) != 0 {
+		t.Error("zero A mean must yield zero unpaired improvement HW")
+	}
+}
+
+// TestPairedVarianceIdentity: on random-ish data the three variances must
+// satisfy s²D = s²A + s²B − 2·corr·sA·sB (the identity Correlation inverts).
+func TestPairedVarianceIdentity(t *testing.T) {
+	var p Paired
+	var a, b Welford
+	vals := [][2]float64{{3, 7}, {1, 2}, {4, 1}, {1, 8}, {5, 2}, {9, 8}, {2, 1}, {6, 8}}
+	for _, v := range vals {
+		p.Add(v[0], v[1])
+		a.Add(v[0])
+		b.Add(v[1])
+	}
+	var d Welford
+	for _, v := range vals {
+		d.Add(v[1] - v[0])
+	}
+	got := a.Variance() + b.Variance() - 2*p.Correlation()*a.Stddev()*b.Stddev()
+	approx(t, "variance identity", got, d.Variance(), 1e-9)
+}
