@@ -48,6 +48,7 @@ func run() (code int) {
 		compare  = flag.String("compare", "", "compare two strategies A,B on this configuration (paired replicate seeds; overrides -strategy)")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -101,6 +102,17 @@ func run() (code int) {
 		defer func() {
 			if err := stop(); err != nil {
 				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
 				if code == 0 {
 					code = 1
 				}

@@ -52,6 +52,7 @@ func run() (code int) {
 		csvF     = flag.String("csv", "", "also write rows to this CSV file")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -85,6 +86,16 @@ func run() (code int) {
 		defer func() {
 			if err := stop(); err != nil {
 				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeap(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
 				if code == 0 {
 					code = 1
 				}

@@ -78,7 +78,7 @@ func (s *System) recvDataCPU(p *sim.Proc, at int, tuples int64) {
 // sendCtl transmits a small control message, blocking the sender for its
 // CPU cost and wire occupancy.
 func (s *System) sendCtl(p *sim.Proc, from, to int, deliver func()) {
-	s.pe(from).compute(p, s.cfg.Costs.SendMsg)
+	s.pe(from).computeT(p, s.ct.sendMsg)
 	s.net.Send(p, from, to, controlBytes, deliver)
 }
 
@@ -92,7 +92,7 @@ func (s *System) sendCtlAsync(from, to int, deliver func()) {
 
 // recvCtlCPU charges the receiver-side cost of one control message.
 func (s *System) recvCtlCPU(p *sim.Proc, at int) {
-	s.pe(at).compute(p, s.cfg.Costs.RecvMsg)
+	s.pe(at).computeT(p, s.ct.recvMsg)
 }
 
 // requestDecision models the round trip to the control node: the
@@ -104,7 +104,7 @@ func (s *System) requestDecision(p *sim.Proc, coordPE int) core.Decision {
 		s.k.Spawn("ctrl-decide", func(cp *sim.Proc) {
 			s.recvCtlCPU(cp, s.ctrlPE)
 			d := s.ctrl.Decide(s.strategy, s.qinfo, s.rng)
-			s.pe(s.ctrlPE).compute(cp, 2000) // placement computation
+			s.pe(s.ctrlPE).computeT(cp, s.ct.ctrlDecide) // placement computation
 			s.sendCtl(cp, s.ctrlPE, coordPE, func() {
 				reply.Put(d)
 			})

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+)
+
+// TestInlineDispatchIdenticalResults pins the continuation fast path at the
+// system level: a full multi-user run — joins, OLTP, lock waits, buffer
+// steals, network traffic — must produce bit-identical Results with the
+// fast path on (default) and off (every block a park/resume through the
+// root loop). Together with the sim-level trace test and the golden CSVs
+// this enforces that the fast path never alters a simulation outcome.
+func TestInlineDispatchIdenticalResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	cfg := quickCfg()
+	cfg.OLTP.Placement = config.OLTPOnANode
+	cfg.OLTP.TPSPerNode = 50
+
+	fast := MustNew(cfg, core.MustByName("OPT-IO-CPU"))
+	fastRes := fast.Run()
+
+	parked := MustNew(cfg, core.MustByName("OPT-IO-CPU"))
+	parked.Kernel().SetInlineDispatch(false)
+	parkedRes := parked.Run()
+
+	if !reflect.DeepEqual(fastRes, parkedRes) {
+		t.Fatalf("results differ between inline and parked dispatch:\ninline: %+v\nparked: %+v", fastRes, parkedRes)
+	}
+
+	// The fast path must also actually engage: in a run of this size the
+	// bulk of wake-ups resolve in-context.
+	s := fast.Kernel().Stats()
+	if s.InlineWakes == 0 {
+		t.Fatal("fast path never engaged (InlineWakes = 0)")
+	}
+	if p := parked.Kernel().Stats(); p.InlineWakes != 0 {
+		t.Fatalf("parked kernel recorded %d inline wakes", p.InlineWakes)
+	}
+}

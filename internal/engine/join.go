@@ -87,7 +87,7 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 	}
 	q.coordMail = sim.NewChan[cmsg](s.k, fmt.Sprintf("q%d/coord", q.id))
 
-	pe.compute(p, s.cfg.Costs.InitTxn)
+	pe.computeT(p, s.ct.initTxn)
 
 	q.dec = s.requestDecision(p, coordPE)
 	deg := q.dec.Degree()
@@ -232,7 +232,7 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 		s.recvCtlCPU(p, coordPE)
 		acks++
 	}
-	pe.compute(p, s.cfg.Costs.TermTxn)
+	pe.computeT(p, s.ct.termTxn)
 
 	// Return the placement's reservation to the control node's ledger.
 	dec := q.dec
@@ -268,9 +268,13 @@ func scanSpacePages(bufferPages int) int {
 
 // runScan executes one scan subquery: a clustered-index selection over the
 // local fragment whose output is redistributed among the join processes.
+// The page loop charges its loop-invariant segments through pre-converted
+// costT durations (the per-page batch of tuple costs stays a compute call:
+// its count varies on the last page).
 func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx int) {
 	s.recvCtlCPU(p, pe.id) // start message
 	c := &s.cfg
+	ct := &s.ct
 
 	space := pe.buf.NewSpace(fmt.Sprintf("q%d/scan%d", q.id, pe.id), bufferQueryPriority, 0)
 	space.AcquireBestEffort(p, scanSpacePages(c.BufferPages))
@@ -306,7 +310,7 @@ func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx 
 	for lvl := int64(0); lvl < 2; lvl++ {
 		pg := pageID(spaceIndexBase-int64(pe.id), lvl)
 		if !pe.disks.Read(p, dataDiskFor(pe, lvl), pg, false) {
-			pe.compute(p, c.Costs.IO)
+			pe.computeT(p, ct.io)
 		}
 	}
 
@@ -343,7 +347,7 @@ func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx 
 	for remaining := match; remaining > 0; {
 		pg := pageID(relSpace*1_000_000-int64(fragIdx)*100_000, pageCursor)
 		if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
-			pe.compute(p, c.Costs.IO)
+			pe.computeT(p, ct.io)
 		}
 		pageCursor++
 		n := int64(c.Blocking)

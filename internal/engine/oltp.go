@@ -33,11 +33,12 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 
 	o := &s.cfg.OLTP
 	c := &s.cfg
+	ct := &s.ct
 	acct := acctSpaceFor(pe.id)
 
 	for attempt := 0; attempt <= maxOLTPRetries; attempt++ {
 		txn := s.newTxnID()
-		pe.compute(p, c.Costs.InitTxn)
+		pe.computeT(p, ct.initTxn)
 
 		var pinned []disk.PageID
 		unpin := func() {
@@ -64,7 +65,7 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 			}
 			// Non-clustered index traversal: the account index is hot and
 			// memory resident (three levels of key comparisons, CPU only).
-			pe.compute(p, 3*c.Costs.ReadTuple+o.ExtraInstr)
+			pe.computeT(p, ct.oltpIndex)
 
 			// Long write lock on the selected tuple.
 			tuple := page*int64(c.Blocking) + s.rng.Int63n(int64(c.Blocking))
@@ -75,7 +76,7 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 			dataPg := pageID(acct, page)
 			pe.buf.Fix(p, dataPg, true, false, buffer.PriorityOLTP)
 			pinned = append(pinned, dataPg)
-			pe.compute(p, c.Costs.ReadTuple+c.Costs.WriteTuple)
+			pe.computeT(p, ct.tupleRW)
 		}
 
 		if aborted {
@@ -83,13 +84,13 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 			unpin()
 			scratch.Close()
 			pe.locks.ReleaseAll(txn)
-			pe.compute(p, c.Costs.TermTxn/2)
+			pe.computeT(p, ct.termTxnHalf)
 			continue // retry
 		}
 
 		// Commit: force the log, then release everything.
-		pe.compute(p, c.Costs.TermTxn)
-		pe.compute(p, c.Costs.IO)
+		pe.computeT(p, ct.termTxn)
+		pe.computeT(p, ct.io)
 		pe.logDisk.Write(p, 0, pageID(-int64(pe.id)-1, s.nextQuery+int64(s.oltpStarted)))
 		unpin()
 		scratch.Close()

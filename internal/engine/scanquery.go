@@ -24,7 +24,7 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 	s.nextQuery++
 	qid := s.nextQuery
 	txn := s.newTxnID()
-	pe.compute(p, s.cfg.Costs.InitTxn)
+	pe.computeT(p, s.ct.initTxn)
 
 	relSpace := int64(spaceRelA)
 	total := s.cfg.ATuples
@@ -84,7 +84,7 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 		s.recvCtlCPU(p, coordPE)
 		acks++
 	}
-	pe.compute(p, s.cfg.Costs.TermTxn)
+	pe.computeT(p, s.ct.termTxn)
 
 	if s.measuring {
 		s.scanRT.Add((s.k.Now() - arrival).Milliseconds())
@@ -104,9 +104,13 @@ type scanFragment struct {
 }
 
 // runScanFragment executes one scan subquery of a standalone scan query.
+// Its inner loops charge the loop-invariant cost segments through the
+// pre-converted costT durations; each hold rides the kernel's continuation
+// fast path when uncontended.
 func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 	s.recvCtlCPU(p, pe.id)
 	c := &s.cfg
+	ct := &s.ct
 
 	if err := pe.locks.Lock(p, f.txn, lock.Key{Space: f.relSpace, Item: 0}, lock.Shared); err != nil {
 		panic("engine: scan fragment read lock aborted")
@@ -122,7 +126,7 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 		for remaining := match; remaining > 0; {
 			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-500_000, pageCursor)
 			if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
-				pe.compute(p, c.Costs.IO)
+				pe.computeT(p, ct.io)
 			}
 			pageCursor++
 			n := int64(c.Blocking)
@@ -150,11 +154,11 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 		}
 		var buf int64
 		for i := int64(0); i < match; i++ {
-			pe.compute(p, 3*c.Costs.ReadTuple) // B+-tree descent, resident
+			pe.computeT(p, ct.scanDescent) // B+-tree descent, resident
 			page := (i*2654435761 + int64(f.qid)) % fragPages
 			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-700_000, page)
 			pe.buf.Fix(p, pg, false, false, buffer.PriorityQuery)
-			pe.compute(p, c.Costs.ReadTuple+c.Costs.WriteTuple)
+			pe.computeT(p, ct.tupleRW)
 			pe.buf.Unfix(pg)
 			buf++
 			if buf == tpp {

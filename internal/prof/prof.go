@@ -1,8 +1,10 @@
-// Package prof is the shared CPU-profiling setup of the dynlb commands.
+// Package prof is the shared CPU- and memory-profiling setup of the dynlb
+// commands.
 package prof
 
 import (
 	"os"
+	"runtime"
 	"runtime/pprof"
 )
 
@@ -22,4 +24,23 @@ func Start(path string) (stop func() error, err error) {
 		pprof.StopCPUProfile()
 		return f.Close()
 	}, nil
+}
+
+// WriteHeap writes an allocs-space heap profile to path, preceded by a GC
+// so the live-heap numbers are current. Call it at the end of a run; the
+// profile's alloc_space/alloc_objects samples cover the whole process
+// lifetime, which is what a hot-path allocation hunt needs (the simulator's
+// steady state should be allocation-free — see the sim alloc guard test).
+func WriteHeap(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	runtime.GC() // materialize up-to-date heap statistics
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

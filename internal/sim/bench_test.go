@@ -2,6 +2,14 @@ package sim
 
 import "testing"
 
+// The process benchmarks drive b.N operations through a single long Run
+// horizon, the regime the engine actually runs in (one Run(warmup), one
+// Run(warmup+measure)): the continuation fast path is active and a blocked
+// process dispatches its own wake-up in-context. Each has a Parked variant
+// with the fast path disabled — the pre-continuation park/resume behavior —
+// so the goroutine-switch cost the fast path removes is measured in the
+// same binary.
+
 // BenchmarkEventDispatch measures the raw event path — one calendar insert
 // plus one extract and dispatch per operation — with no process handoff,
 // using the classic hold model: a steady population of 256 pending events,
@@ -23,63 +31,65 @@ func BenchmarkEventDispatch(b *testing.B) {
 	}
 }
 
-// BenchmarkKernelWaitLoop measures the steady-state cost of one
-// Wait: one calendar insert, one extract and one process handoff
-// (park + resume). It is the dominant primitive of every simulation run, so
-// ns/op here bounds overall simulator throughput. allocs/op should be ~0 in
-// steady state: events come from the kernel pool and no closures are built.
-func BenchmarkKernelWaitLoop(b *testing.B) {
+// benchWaitLoop measures the steady-state cost of one Proc.Wait: one
+// calendar insert and one extract. With the fast path (inline=true) the
+// waiter dispatches its own wake-up and never switches goroutines; without
+// it every Wait pays the two switches of a park/resume pair. ns/op here
+// bounds overall simulator throughput — Wait is the dominant primitive of
+// every simulation run. allocs/op must be 0 in steady state either way.
+func benchWaitLoop(b *testing.B, inline bool) {
 	k := NewKernel()
-	done := false
+	k.SetInlineDispatch(inline)
+	n := 0
 	k.Spawn("waiter", func(p *Proc) {
-		for !done {
+		for ; n < b.N; n++ {
 			p.Wait(Microsecond)
 		}
 	})
 	b.ReportAllocs()
 	b.ResetTimer()
-	// Each horizon extension executes exactly one Wait round trip.
-	for i := 0; i < b.N; i++ {
-		k.Run(Time(i+1) * Microsecond)
-	}
-	b.StopTimer()
-	done = true
 	k.RunAll()
 }
 
-// BenchmarkServerContention measures a contended FCFS station: 8 processes
+func BenchmarkKernelWaitLoop(b *testing.B)       { benchWaitLoop(b, true) }
+func BenchmarkKernelWaitLoopParked(b *testing.B) { benchWaitLoop(b, false) }
+
+// benchServerContention measures a contended FCFS station: 8 processes
 // sharing a 2-server station, so most Use calls queue (park on the waiter
-// list) and every Release hands off to a queued process.
-func BenchmarkServerContention(b *testing.B) {
+// list) and every Release hands off to a queued process. The fast path
+// turns each of those handoffs into a direct process-to-process switch
+// instead of a round trip through the root loop.
+func benchServerContention(b *testing.B, inline bool) {
 	const procs = 8
 	k := NewKernel()
+	k.SetInlineDispatch(inline)
 	srv := NewServer(k, "cpu", 2)
-	done := false
+	n := 0
 	for i := 0; i < procs; i++ {
 		k.Spawn("worker", func(p *Proc) {
-			for !done {
+			for n < b.N {
+				n++
 				srv.Use(p, Microsecond)
 			}
 		})
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.Run(Time(i+1) * Microsecond)
-	}
-	b.StopTimer()
-	done = true
 	k.RunAll()
 }
 
-// BenchmarkChanPingPong measures mailbox latency: two processes bouncing a
-// token through a pair of Chans, i.e. two Put/Get pairs (wake + handoff) per
-// iteration, with the consumer always parked when Put arrives.
-func BenchmarkChanPingPong(b *testing.B) {
+func BenchmarkServerContention(b *testing.B)       { benchServerContention(b, true) }
+func BenchmarkServerContentionParked(b *testing.B) { benchServerContention(b, false) }
+
+// benchChanPingPong measures mailbox latency: two processes bouncing a
+// token through a pair of Chans, i.e. two Put/Get pairs (wake + handoff)
+// per iteration, with the consumer always parked when Put arrives.
+func benchChanPingPong(b *testing.B, inline bool) {
 	k := NewKernel()
+	k.SetInlineDispatch(inline)
 	ping := NewChan[int](k, "ping")
 	pong := NewChan[int](k, "pong")
-	done := false
+	n := 0
 	k.Spawn("echo", func(p *Proc) {
 		for {
 			v, ok := ping.Get(p)
@@ -90,19 +100,40 @@ func BenchmarkChanPingPong(b *testing.B) {
 		}
 	})
 	k.Spawn("driver", func(p *Proc) {
-		for !done {
+		for ; n < b.N; n++ {
 			ping.Put(1)
 			pong.Get(p)
-			p.Wait(Microsecond) // advance the clock so Run horizons progress
+			p.Wait(Microsecond) // advance the clock between rounds
 		}
 		ping.Close()
 	})
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.Run(Time(i+1) * Microsecond)
-	}
-	b.StopTimer()
-	done = true
 	k.RunAll()
 }
+
+func BenchmarkChanPingPong(b *testing.B)       { benchChanPingPong(b, true) }
+func BenchmarkChanPingPongParked(b *testing.B) { benchChanPingPong(b, false) }
+
+// BenchmarkUncontendedUse measures Server.Use on a free station — the
+// engine's hottest call shape (pe.compute charging a CPU hold): Acquire
+// succeeds immediately and the timed hold is a pure continuation. With the
+// fast path this is Acquire + calendar insert/extract + Release with zero
+// goroutine switches.
+func benchUncontendedUse(b *testing.B, inline bool) {
+	k := NewKernel()
+	k.SetInlineDispatch(inline)
+	srv := NewServer(k, "cpu", 1)
+	n := 0
+	k.Spawn("worker", func(p *Proc) {
+		for ; n < b.N; n++ {
+			srv.Use(p, Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunAll()
+}
+
+func BenchmarkUncontendedUse(b *testing.B)       { benchUncontendedUse(b, true) }
+func BenchmarkUncontendedUseParked(b *testing.B) { benchUncontendedUse(b, false) }

@@ -29,6 +29,14 @@ type calQueue struct {
 	cur      Time
 	head     *event // cached minimum, still stored in its bucket; nil = unknown
 	overflow overflowHeap
+
+	// Observability counters (surfaced via Kernel.Stats): a workload whose
+	// event gaps dwarf the wheel horizon shows up as high overflow
+	// residency and migration traffic — the diagnostic for a static-width
+	// mismatch before investing in self-tuning width.
+	overflowPushes int64 // enqueues that landed beyond the wheel horizon
+	overflowPeak   int   // high-water overflow residency
+	migrations     int64 // events moved overflow → wheel
 }
 
 const (
@@ -48,6 +56,10 @@ func (q *calQueue) len() int { return q.wheelN + len(q.overflow) }
 func (q *calQueue) enqueue(e *event) {
 	if e.t >= q.wheelLimit() {
 		q.overflow.push(e)
+		q.overflowPushes++
+		if len(q.overflow) > q.overflowPeak {
+			q.overflowPeak = len(q.overflow)
+		}
 		return
 	}
 	q.wheelInsert(e)
@@ -78,6 +90,7 @@ func (q *calQueue) migrate() {
 	limit := q.wheelLimit()
 	for len(q.overflow) > 0 && q.overflow[0].t < limit {
 		q.wheelInsert(q.overflow.pop())
+		q.migrations++
 	}
 }
 

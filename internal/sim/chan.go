@@ -95,7 +95,7 @@ func (c *Chan[T]) Get(p *Proc) (v T, ok bool) {
 		}
 		c.readers = append(c.readers, p)
 		c.k.blocked++
-		p.park()
+		p.block()
 		c.k.blocked--
 	}
 	return c.take(), true
@@ -153,7 +153,7 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	b.waiters = append(b.waiters, p)
 	b.k.blocked++
-	p.park()
+	p.block()
 	b.k.blocked--
 }
 

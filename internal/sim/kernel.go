@@ -28,6 +28,13 @@ const maxTime = Time(1<<63 - 1)
 // still exactly (time, seq): nowQ entries carry sequence numbers and the
 // dispatch loop lets same-time calendar events with lower sequence numbers
 // (scheduled earlier, from a past instant) fire first.
+//
+// Dispatch is cooperative ("the ball"): exactly one goroutine at a time —
+// the root Run loop or one process — pops and dispatches events. A blocking
+// process does not hand control back to the root loop; it keeps dispatching
+// in its own context until its own resume event comes up (continuation fast
+// path, zero goroutine switches) or another process's turn arrives (direct
+// handoff, one switch). See Proc.block.
 type Kernel struct {
 	now     Time
 	seq     int64
@@ -37,18 +44,36 @@ type Kernel struct {
 	pool    []*event
 	yield   chan struct{}
 	running bool
-	live    int // processes spawned and not yet finished
-	blocked int // processes parked on a resource or mailbox
+	inline  bool // continuation fast path enabled (default true)
+	horizon Time // until of the active Run; valid while running
+	live    int  // processes spawned and not yet finished
+	blocked int  // processes parked on a resource or mailbox
 	procSeq int64
+
+	dispatched  int64 // events dispatched since kernel creation
+	inlineWakes int64 // blocks resolved in-context, without a goroutine switch
+	handoffs    int64 // goroutine switches into a process (direct or from root)
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	// Capacity 1 makes the yield/resume rendezvous a single blocking
-	// receive instead of a send/receive pair on both sides: the sender
-	// never blocks, and the happens-before edge of the buffered send still
+	// Capacity 1 makes every handoff rendezvous a single blocking receive
+	// instead of a send/receive pair on both sides: the sender never
+	// blocks, and the happens-before edge of the buffered send still
 	// orders all simulation state written before a handoff.
-	return &Kernel{yield: make(chan struct{}, 1)}
+	return &Kernel{yield: make(chan struct{}, 1), inline: true}
+}
+
+// SetInlineDispatch toggles the continuation fast path. With it disabled
+// every block is a park/resume pair through the root Run loop (the
+// pre-fast-path behavior). Dispatch order — and therefore every simulation
+// result — is identical either way; the switch exists for benchmarks and
+// determinism tests. It must not be called while Run is active.
+func (k *Kernel) SetInlineDispatch(enabled bool) {
+	if k.running {
+		panic("sim: SetInlineDispatch during Run")
+	}
+	k.inline = enabled
 }
 
 // Now returns the current simulated time.
@@ -61,6 +86,38 @@ func (k *Kernel) Live() int { return k.live }
 // Blocked reports the number of processes currently parked waiting for a
 // resource, store or mailbox (not those sleeping on the calendar).
 func (k *Kernel) Blocked() int { return k.blocked }
+
+// KernelStats is a snapshot of scheduling counters: how events are being
+// dispatched and how the calendar queue is coping with the workload's event
+// horizon. OverflowLen/OverflowPeak/Migrations diagnose a wheel-width
+// mismatch: a workload whose event gaps dwarf the wheel horizon shows high
+// overflow residency and heavy migration traffic, the signal to revisit the
+// static bucket width before investing in self-tuning.
+type KernelStats struct {
+	Dispatched  int64 // events dispatched since kernel creation
+	InlineWakes int64 // blocks resolved in-context (continuation fast path, no switch)
+	Handoffs    int64 // goroutine switches into a process
+
+	WheelLen       int   // events currently in the calendar wheel
+	OverflowLen    int   // events currently in the overflow heap
+	OverflowPeak   int   // high-water overflow-heap residency
+	OverflowPushes int64 // enqueues that landed beyond the wheel horizon
+	Migrations     int64 // events migrated overflow → wheel as the cursor advanced
+}
+
+// Stats returns the kernel's scheduling counters.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Dispatched:     k.dispatched,
+		InlineWakes:    k.inlineWakes,
+		Handoffs:       k.handoffs,
+		WheelLen:       k.cq.wheelN,
+		OverflowLen:    len(k.cq.overflow),
+		OverflowPeak:   k.cq.overflowPeak,
+		OverflowPushes: k.cq.overflowPushes,
+		Migrations:     k.cq.migrations,
+	}
+}
 
 // newEvent returns a pooled event stamped with the next sequence number.
 func (k *Kernel) newEvent(t Time) *event {
@@ -96,6 +153,14 @@ func (k *Kernel) schedule(e *event) {
 
 // At schedules fn to run in kernel context at absolute time t.
 // It panics if t is in the simulated past.
+//
+// "Kernel context" is wherever dispatch is happening: with the
+// continuation fast path (the default) fn may execute on a blocked
+// process's goroutine rather than the goroutine that called Run, so a
+// panic escaping fn unwinds that process goroutine and cannot be recovered
+// around Run. Treat a panic in an event function as fatal (it is a
+// simulation bug either way); recover inside fn if a callback must be
+// panic-safe.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, k.now))
@@ -134,6 +199,7 @@ func (k *Kernel) next(until Time) *event {
 		// earlier instant, so its sequence number is lower than every
 		// nowQ entry's: it goes first.
 		if t, ok := k.cq.peekTime(); ok && t == k.now {
+			k.dispatched++
 			return k.cq.pop(k.now)
 		}
 		e := k.nowQ[k.nowHead]
@@ -143,21 +209,36 @@ func (k *Kernel) next(until Time) *event {
 			k.nowQ = k.nowQ[:0]
 			k.nowHead = 0
 		}
+		k.dispatched++
 		return e
 	}
 	e := k.cq.pop(until)
 	if e != nil {
 		k.now = e.t
+		k.dispatched++
 	}
 	return e
 }
 
-// dispatch recycles e and performs its action: a direct process handoff for
-// resume-proc events, a call for run-fn events.
+// switchTo hands the ball to p and waits for it to come back to the root
+// loop: p runs — possibly dispatching further events in its own context,
+// possibly handing off directly to other processes — until some ball holder
+// drains the horizon or finishes, which yields to the root.
+func (k *Kernel) switchTo(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished process %q", p.name))
+	}
+	k.handoffs++
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// dispatch recycles e and performs its action from the root loop: a process
+// handoff for resume-proc events, a call for run-fn events.
 func (k *Kernel) dispatch(e *event) {
 	if p := e.p; p != nil {
 		k.freeEvent(e)
-		k.step(p)
+		k.switchTo(p)
 		return
 	}
 	fn := e.fn
@@ -174,6 +255,7 @@ func (k *Kernel) Run(until Time) Time {
 		panic("sim: Kernel.Run re-entered")
 	}
 	k.running = true
+	k.horizon = until
 	defer func() { k.running = false }()
 	for {
 		e := k.next(until)
@@ -195,6 +277,7 @@ func (k *Kernel) RunAll() Time {
 		panic("sim: Kernel.Run re-entered")
 	}
 	k.running = true
+	k.horizon = maxTime
 	defer func() { k.running = false }()
 	for {
 		e := k.next(maxTime)

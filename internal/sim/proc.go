@@ -5,8 +5,17 @@ import "fmt"
 // Proc is the handle a simulated process uses to interact with the kernel.
 // A process is an ordinary function running on its own goroutine; every
 // blocking operation (Wait, Server.Use, Store.Get, Chan.Get, ...) suspends
-// the goroutine and returns control to the kernel, which resumes it when the
-// corresponding event fires. Exactly one process runs at any instant.
+// the process and transfers dispatch to the kernel, which resumes it when
+// the corresponding event fires. Exactly one process runs at any instant.
+//
+// Suspension does not necessarily suspend the goroutine: with the
+// continuation fast path (Kernel.SetInlineDispatch, on by default) a
+// blocking process keeps dispatching events in its own context — run-fn
+// events execute inline, its own resume event simply returns control, and
+// only another process's resume costs a goroutine switch (a direct
+// process-to-process handoff). An uncontended timed hold — Wait after an
+// immediate Acquire, Server.Use on a free station — therefore runs entirely
+// switch-free when no other process has an intervening turn.
 type Proc struct {
 	k      *Kernel
 	id     int64
@@ -26,40 +35,77 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
 	// resume has capacity 1 for the same reason as Kernel.yield: the
-	// kernel's handoff send completes without blocking, halving the
-	// synchronization cost of a process switch. Between its yield send and
-	// resume receive a process touches no simulation state, so the brief
-	// overlap with the kernel is race-free.
+	// handoff send completes without blocking, halving the synchronization
+	// cost of a process switch. Between a handoff send and the matching
+	// receive neither side touches simulation state, so the brief overlap
+	// is race-free.
 	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}, 1)}
 	k.live++
 	go func() {
 		<-p.resume
 		fn(p)
+		// The finishing process holds the ball; hand it to the root loop.
 		p.done = true
+		k.live--
 		k.yield <- struct{}{}
 	}()
 	k.atProc(t, p)
 	return p
 }
 
-// step transfers control to p until it parks or finishes.
-func (k *Kernel) step(p *Proc) {
-	if p.done {
-		panic(fmt.Sprintf("sim: resuming finished process %q", p.name))
+// block suspends the calling process until its next resume event — a Wait
+// wake-up scheduled by the caller, or an Unpark/grant from a resource queue
+// — is dispatched. The caller must already have arranged for that event (or
+// for an eventual unpark).
+//
+// Fast path: the blocking process becomes the dispatcher. It pops events in
+// exactly the (time, seq) order the root loop would, runs fn events inline,
+// and returns the moment its own resume event comes up — zero goroutine
+// switches. A resume event for another process transfers the ball directly
+// to that process (one switch; the old park/resume pair cost two). Draining
+// the horizon yields the ball to the root Run loop, which then returns to
+// its caller. Because the fast path dispatches the identical event sequence
+// a parked process would have had dispatched on its behalf, simulation
+// results are bit-identical with the fast path on or off.
+func (p *Proc) block() {
+	k := p.k
+	if !k.inline {
+		// Legacy path: park the goroutine, let the root loop dispatch.
+		k.yield <- struct{}{}
+		<-p.resume
+		return
 	}
-	p.resume <- struct{}{}
-	<-k.yield
-	if p.done {
-		k.live--
+	for {
+		e := k.next(k.horizon)
+		if e == nil {
+			// Nothing left at or before the horizon: give the ball back
+			// to the root loop (Run returns) and sleep until a later Run
+			// dispatches our resume event.
+			k.yield <- struct{}{}
+			<-p.resume
+			return
+		}
+		if q := e.p; q != nil {
+			k.freeEvent(e)
+			if q == p {
+				// Our own wake: continue in-context, no switch at all.
+				k.inlineWakes++
+				return
+			}
+			if q.done {
+				panic(fmt.Sprintf("sim: resuming finished process %q", q.name))
+			}
+			// Another process's turn: direct handoff, then sleep until
+			// some ball holder dispatches our resume event.
+			k.handoffs++
+			q.resume <- struct{}{}
+			<-p.resume
+			return
+		}
+		fn := e.fn
+		k.freeEvent(e)
+		fn()
 	}
-}
-
-// park suspends the calling process until the kernel resumes it. The caller
-// must already have arranged for a future k.step(p) (via an event or a
-// resource queue).
-func (p *Proc) park() {
-	p.k.yield <- struct{}{}
-	<-p.resume
 }
 
 // unpark schedules p to resume at the current simulated time, bypassing the
@@ -75,7 +121,7 @@ func (p *Proc) unpark() {
 // registered itself somewhere an Unpark will find it.
 func (p *Proc) Park() {
 	p.k.blocked++
-	p.park()
+	p.block()
 	p.k.blocked--
 }
 
@@ -96,7 +142,10 @@ func (p *Proc) Name() string { return p.name }
 // ID returns the unique process id (assigned in spawn order).
 func (p *Proc) ID() int64 { return p.id }
 
-// Wait suspends the process for d of simulated time.
+// Wait suspends the process for d of simulated time. This is the simulator's
+// dominant primitive (every timed hold is a Wait); on the continuation fast
+// path an undisturbed Wait costs one calendar insert and one extract, with
+// no goroutine switch.
 func (p *Proc) Wait(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %q waiting negative duration %v", p.name, d))
@@ -105,7 +154,7 @@ func (p *Proc) Wait(d Duration) {
 		return
 	}
 	p.k.atProc(p.k.now+d, p)
-	p.park()
+	p.block()
 }
 
 // WaitUntil suspends the process until absolute time t (no-op if t <= now).

@@ -76,7 +76,7 @@ func (s *Server) Acquire(p *Proc) {
 	w.p, w.arrived = p, s.k.Now()
 	s.q = append(s.q, w)
 	s.k.blocked++
-	p.park()
+	p.block()
 	s.k.blocked--
 }
 

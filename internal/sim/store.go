@@ -73,7 +73,7 @@ func (st *Store) Get(p *Proc, n int) {
 	w.p, w.n, w.arrived = p, n, st.k.Now()
 	st.q = append(st.q, w)
 	st.k.blocked++
-	p.park()
+	p.block()
 	st.k.blocked--
 }
 
