@@ -1,6 +1,8 @@
 // Command dynlbsim runs one simulation configuration and prints a report:
 // the workload, the chosen load-balancing strategy, response times,
-// utilizations and temporary-I/O volume.
+// utilizations and temporary-I/O volume. The configuration runs as a
+// single-point dynlb.Experiment, so replication and comparison are the same
+// option plumbing the sweep harness uses.
 //
 // With -compare A,B both strategies run on identical replicate seeds
 // (common random numbers) and the report shows paired deltas and relative
@@ -15,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"dynlb"
@@ -120,8 +124,11 @@ func run() (code int) {
 		}()
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	if *compare != "" {
-		return runCompare(cfg, *compare, *seed, *reps, *ci)
+		return runCompare(ctx, cfg, *compare, *reps, *ci)
 	}
 
 	st, err := dynlb.StrategyByName(*strategy)
@@ -134,27 +141,16 @@ func run() (code int) {
 		cfg.NPE, st.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
 	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
 
-	var (
-		res dynlb.Results
-		rep *dynlb.Replication
-	)
-	if *reps > 1 {
-		// Replicated mode: run once per derived seed and report across-
-		// replicate means; the scalar report below then shows averages.
-		r, err := dynlb.RunReplicatedConf(cfg, st, dynlb.ReplicateSeeds(*seed, *reps), *ci)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		res, rep = r.Mean, &r.Rep
-	} else {
-		var err error
-		res, err = dynlb.Run(cfg, st)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
+	// One configuration = a single-point sweep; -reps plugs in replication.
+	rows, err := dynlb.NewExperiment(
+		dynlb.Sweep{Name: "dynlbsim", Base: cfg, Strategies: []dynlb.Strategy{st}},
+		dynlb.WithReps(*reps), dynlb.WithConfidence(*ci),
+	).Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
+	res, rep := rows[0].Res, rows[0].Rep
 
 	fmt.Println()
 	if rep != nil {
@@ -192,7 +188,7 @@ func run() (code int) {
 // every replicate seed (common random numbers), and the report shows the
 // per-metric deltas and relative improvements with paired-t half-widths
 // next to the wider intervals independent seeds would have produced.
-func runCompare(cfg dynlb.Config, spec string, seed int64, reps int, ci float64) int {
+func runCompare(ctx context.Context, cfg dynlb.Config, spec string, reps int, ci float64) int {
 	nameA, nameB, err := dynlb.SplitCompare(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -213,12 +209,15 @@ func runCompare(cfg dynlb.Config, spec string, seed int64, reps int, ci float64)
 		cfg.NPE, sa.Name(), sb.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
 	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
 
-	cmp, err := dynlb.CompareReplicatedConf(cfg, sa, sb, dynlb.ReplicateSeeds(seed, reps), ci)
+	rows, err := dynlb.NewExperiment(
+		dynlb.Sweep{Name: "dynlbsim", Base: cfg},
+		dynlb.WithCompare(sa, sb), dynlb.WithReps(reps), dynlb.WithConfidence(ci),
+	).Run(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	p := cmp.Pair
+	p := *rows[0].Cmp
 	fmt.Println()
 	fmt.Printf("paired runs:    %d replicates on shared seeds (common random numbers), %g%% CIs\n",
 		p.Reps, 100*p.Conf)

@@ -1,11 +1,13 @@
 // Command experiments regenerates the evaluation figures of Rahm & Marek
 // (VLDB '95) with this library's simulator, printing one aligned table per
-// figure (and optionally CSV for plotting). Independent sweep points run on
-// a worker pool (-parallel); results are bit-identical at any parallelism
-// level because every point simulates on its own kernel and RNG. With
-// -reps N (N >= 2) every point is replicated across N deterministic seeds
-// and each row reports across-replicate means with Student-t confidence
-// half-widths at the -ci level.
+// figure (and optionally CSV or JSON for plotting). Each figure runs as one
+// dynlb.Experiment: independent sweep points run on a worker pool
+// (-parallel); results are bit-identical at any parallelism level because
+// every point simulates on its own kernel and RNG. With -reps N (N >= 2)
+// every point is replicated across N deterministic seeds and each row
+// reports across-replicate means with Student-t confidence half-widths at
+// the -ci level. Interrupting the command (Ctrl-C) cancels the sweep
+// promptly via context cancellation.
 //
 // With -compare A,B the figure's workload configurations are swept under
 // the two named strategies head to head: every replicate runs both
@@ -17,17 +19,22 @@
 //
 //	experiments -fig 5                      # reproduce Fig. 5 at normal scale
 //	experiments -fig all -scale quick
-//	experiments -fig 9b -scale full -csv fig9b.csv
+//	experiments -fig 9b -scale full -out fig9b.csv
+//	experiments -fig 6 -out fig6.json -format json
 //	experiments -fig 6 -reps 5 -ci 0.99     # 5 seeds per point, 99% intervals
 //	experiments -fig all -parallel 1        # sequential (for timing baselines)
+//	experiments -fig 6 -progress            # stream rows as they complete
 //	experiments -fig 6 -cpuprofile cpu.out  # profile the simulator hot path
 //	experiments -fig 8 -reps 5 -compare psu-opt+RANDOM,OPT-IO-CPU
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
@@ -49,7 +56,10 @@ func run() (code int) {
 		reps     = flag.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		compare  = flag.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
-		csvF     = flag.String("csv", "", "also write rows to this CSV file")
+		outF     = flag.String("out", "", "also write rows to this file (see -format)")
+		format   = flag.String("format", "csv", "row file format for -out: csv or json")
+		csvF     = flag.String("csv", "", "deprecated alias for -out with -format csv")
+		progress = flag.Bool("progress", false, "stream every completed row to stderr as the sweep runs")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
@@ -75,6 +85,21 @@ func run() (code int) {
 	if !(*ci > 0 && *ci < 1) {
 		fmt.Fprintf(os.Stderr, "-ci %v outside (0,1)\n", *ci)
 		return 2
+	}
+	if *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want csv or json)\n", *format)
+		return 2
+	}
+	if *csvF != "" {
+		if *outF != "" {
+			fmt.Fprintln(os.Stderr, "-csv is a deprecated alias for -out; give only one of them")
+			return 2
+		}
+		if *format != "csv" {
+			fmt.Fprintln(os.Stderr, "-csv always writes CSV; use -out with -format json")
+			return 2
+		}
+		*outF = *csvF
 	}
 
 	if *cpuProf != "" {
@@ -103,14 +128,41 @@ func run() (code int) {
 		}()
 	}
 
-	var stratA, stratB string
+	// Ctrl-C cancels the sweep: in-flight points are abandoned promptly and
+	// the command exits without writing a partial row file.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	opts := []dynlb.Option{
+		dynlb.WithScale(sc),
+		dynlb.WithSeed(*seed),
+		dynlb.WithReps(*reps),
+		dynlb.WithConfidence(*ci),
+		dynlb.WithWorkers(*parallel),
+	}
 	if *compare != "" {
-		var err error
-		stratA, stratB, err = dynlb.SplitCompare(*compare)
+		nameA, nameB, err := dynlb.SplitCompare(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
+		sa, err := dynlb.StrategyByName(nameA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		sb, err := dynlb.StrategyByName(nameB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		opts = append(opts, dynlb.WithCompare(sa, sb))
+	}
+	if *progress {
+		opts = append(opts, dynlb.WithProgress(func(r dynlb.Row) {
+			fmt.Fprintf(os.Stderr, "fig %s  %-38s %s=%-8g rt=%9.1fms\n",
+				r.Figure, r.Series, r.XLabel, r.X, r.JoinRTMS)
+		}))
 	}
 
 	figs := []string{*fig}
@@ -126,15 +178,7 @@ func run() (code int) {
 	var all []dynlb.Row
 	for _, f := range figs {
 		start := time.Now()
-		var (
-			rows []dynlb.Row
-			err  error
-		)
-		if *compare != "" {
-			rows, err = dynlb.RunFigureComparedConf(f, sc, *seed, stratA, stratB, *reps, *ci, *parallel)
-		} else {
-			rows, err = dynlb.RunFigureReplicatedConf(f, sc, *seed, *reps, *ci, *parallel)
-		}
+		rows, err := dynlb.NewExperiment(dynlb.Figure(f), opts...).Run(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -144,17 +188,21 @@ func run() (code int) {
 		all = append(all, rows...)
 	}
 
-	if *csvF != "" {
-		if err := writeCSV(*csvF, all); err != nil {
+	if *outF != "" {
+		write := dynlb.WriteRowsCSV
+		if *format == "json" {
+			write = dynlb.WriteRowsJSON
+		}
+		if err := writeRows(*outF, all, write); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Printf("wrote %d rows to %s\n", len(all), *csvF)
+		fmt.Printf("wrote %d rows to %s (%s)\n", len(all), *outF, *format)
 	}
 	return 0
 }
 
-func writeCSV(path string, rows []dynlb.Row) (err error) {
+func writeRows(path string, rows []dynlb.Row, write func(io.Writer, []dynlb.Row) error) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -166,5 +214,5 @@ func writeCSV(path string, rows []dynlb.Row) (err error) {
 			err = cerr
 		}
 	}()
-	return dynlb.WriteRowsCSV(f, rows)
+	return write(f, rows)
 }

@@ -1,6 +1,7 @@
 package dynlb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,12 +20,13 @@ import (
 // half-widths are the tighter ones. Corr is the sample correlation of the
 // pairs — the share of run-to-run variance the shared seeds cancel.
 type DeltaCI struct {
-	A, B             float64 // across-replicate means under A and B
-	Delta            MeanCI  // B − A, paired-t half-width
-	Improv           MeanCI  // 100·(A − B)/A in %, paired-t half-width
-	UnpairedDeltaHW  float64 // independent-seed half-width on B − A
-	UnpairedImprovHW float64 // independent-seed half-width on the improvement
-	Corr             float64 // sample correlation of the paired replicates
+	A                float64 `json:"a"`                  // across-replicate mean under A
+	B                float64 `json:"b"`                  // across-replicate mean under B
+	Delta            MeanCI  `json:"delta"`              // B − A, paired-t half-width
+	Improv           MeanCI  `json:"improv"`             // 100·(A − B)/A in %, paired-t half-width
+	UnpairedDeltaHW  float64 `json:"unpaired_delta_hw"`  // independent-seed half-width on B − A
+	UnpairedImprovHW float64 `json:"unpaired_improv_hw"` // independent-seed half-width on the improvement
+	Corr             float64 `json:"corr"`               // sample correlation of the paired replicates
 }
 
 // String renders the compared metric as "A→B Δmean ±hw (improv% ±hw)".
@@ -37,19 +39,19 @@ func (d DeltaCI) String() string {
 // metric for one configuration or sweep point, mirroring Replication's
 // metric set.
 type PairedComparison struct {
-	StrategyA string // baseline
-	StrategyB string // challenger
-	Reps      int    // pairs aggregated
-	Conf      float64
+	StrategyA string  `json:"strategy_a"` // baseline
+	StrategyB string  `json:"strategy_b"` // challenger
+	Reps      int     `json:"reps"`       // pairs aggregated
+	Conf      float64 `json:"conf"`
 
-	JoinRTMS DeltaCI // join response time, ms
-	JoinTPS  DeltaCI // join throughput, queries/s
-	OLTPRTMS DeltaCI // OLTP response time, ms (zero without OLTP workload)
-	CPUUtil  DeltaCI // mean CPU utilization, 0..1
-	DiskUtil DeltaCI // mean disk utilization, 0..1
-	MemUtil  DeltaCI // mean memory utilization, 0..1
-	Degree   DeltaCI // achieved degree of join parallelism
-	TempIO   DeltaCI // temporary-file I/O pages in the window
+	JoinRTMS DeltaCI `json:"join_rt_ms"` // join response time, ms
+	JoinTPS  DeltaCI `json:"join_tps"`   // join throughput, queries/s
+	OLTPRTMS DeltaCI `json:"oltp_rt_ms"` // OLTP response time, ms (zero without OLTP workload)
+	CPUUtil  DeltaCI `json:"cpu_util"`   // mean CPU utilization, 0..1
+	DiskUtil DeltaCI `json:"disk_util"`  // mean disk utilization, 0..1
+	MemUtil  DeltaCI `json:"mem_util"`   // mean memory utilization, 0..1
+	Degree   DeltaCI `json:"degree"`     // achieved degree of join parallelism
+	TempIO   DeltaCI `json:"temp_io"`    // temporary-file I/O pages in the window
 }
 
 // Comparison bundles a paired head-to-head run of two strategies: the full
@@ -79,6 +81,10 @@ func SplitCompare(spec string) (a, b string, err error) {
 // Compare runs strategies A and B once each on cfg's seed and returns the
 // per-metric deltas and relative improvements (half-widths are zero with a
 // single pair; replicate with CompareReplicated for confidence intervals).
+//
+// Deprecated: use the Experiment API over a single-point Sweep:
+//
+//	NewExperiment(Sweep{Base: cfg}, WithCompare(a, b)).Run(ctx)
 func Compare(cfg Config, a, b Strategy) (Comparison, error) {
 	return CompareReplicatedConf(cfg, a, b, []int64{cfg.Seed}, DefaultConfidence)
 }
@@ -88,45 +94,46 @@ func Compare(cfg Config, a, b Strategy) (Comparison, error) {
 // pool — and aggregates the paired per-replicate deltas at the default 95%
 // confidence level. Derive seeds with ReplicateSeeds for the standard
 // deterministic stream.
+//
+// Deprecated: use the Experiment API over a single-point Sweep (WithRuns
+// recovers the per-replicate Results, {A, B}-interleaved per seed):
+//
+//	NewExperiment(Sweep{Base: cfg}, WithCompare(a, b), WithSeeds(seeds...), WithRuns()).Run(ctx)
 func CompareReplicated(cfg Config, a, b Strategy, seeds []int64) (Comparison, error) {
 	return CompareReplicatedConf(cfg, a, b, seeds, DefaultConfidence)
 }
 
 // CompareReplicatedConf is CompareReplicated at an explicit confidence
 // level in (0, 1).
+//
+// Deprecated: use the Experiment API with WithConfidence(conf).
 func CompareReplicatedConf(cfg Config, a, b Strategy, seeds []int64, conf float64) (Comparison, error) {
 	if len(seeds) == 0 {
 		return Comparison{}, fmt.Errorf("dynlb: CompareReplicated needs at least one seed")
 	}
-	if err := checkConfidence(conf); err != nil {
-		return Comparison{}, err
-	}
-	jobs := make([]runJob, 0, 2*len(seeds))
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		jobs = append(jobs, runJob{cfg: c, st: a}, runJob{cfg: c, st: b})
-	}
-	results, err := runJobs(jobs, 0)
+	rows, err := NewExperiment(Sweep{Base: cfg},
+		WithCompare(a, b), WithSeeds(seeds...), WithConfidence(conf),
+		WithRuns()).Run(context.Background())
 	if err != nil {
 		return Comparison{}, err
 	}
+	// The row's raw runs interleave the pair per seed: {A, B} per replicate.
+	// Both sides aggregate here from those runs with the same pure functions
+	// the pipeline uses (the row only carries B's aggregates, and A's are
+	// needed symmetrically), so the values cannot diverge from the row's.
+	raw := rows[0].Runs
 	runsA := make([]Results, len(seeds))
 	runsB := make([]Results, len(seeds))
 	for i := range seeds {
-		runsA[i] = results[2*i]
-		runsB[i] = results[2*i+1]
+		runsA[i] = raw[2*i]
+		runsB[i] = raw[2*i+1]
 	}
 	meanA, repA := AggregateResults(runsA, conf)
 	meanB, repB := AggregateResults(runsB, conf)
-	pair, err := CompareResults(runsA, runsB, conf)
-	if err != nil {
-		return Comparison{}, err
-	}
 	return Comparison{
 		A:    Replicated{Runs: runsA, Mean: meanA, Rep: repA},
 		B:    Replicated{Runs: runsB, Mean: meanB, Rep: repB},
-		Pair: pair,
+		Pair: *rows[0].Cmp,
 	}, nil
 }
 

@@ -1,0 +1,68 @@
+package dynlb
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// deprecatedWrappers are the pre-Experiment entry points that now delegate
+// to Experiment. Each must carry a "Deprecated:" doc line pointing callers
+// at the replacement — CI runs this test as its deprecation-comment lint.
+var deprecatedWrappers = []string{
+	"RunFigure",
+	"RunFigureParallel",
+	"RunFigureReplicated",
+	"RunFigureReplicatedConf",
+	"RunFigureCompared",
+	"RunFigureComparedConf",
+	"RunReplicated",
+	"RunReplicatedConf",
+	"Compare",
+	"CompareReplicated",
+	"CompareReplicatedConf",
+}
+
+// TestDeprecatedWrapperDocs parses the package sources and checks that
+// every legacy wrapper's doc comment both marks it Deprecated and names the
+// Experiment replacement, so godoc and editors surface the migration.
+func TestDeprecatedWrapperDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || fn.Doc == nil {
+					continue
+				}
+				docs[fn.Name.Name] = fn.Doc.Text()
+			}
+		}
+	}
+	for _, name := range deprecatedWrappers {
+		doc, ok := docs[name]
+		if !ok {
+			t.Errorf("wrapper %s missing (or missing its doc comment)", name)
+			continue
+		}
+		if !strings.Contains(doc, "Deprecated:") {
+			t.Errorf("wrapper %s lacks a Deprecated: doc line", name)
+		}
+		if !strings.Contains(doc, "Experiment") {
+			t.Errorf("wrapper %s's deprecation does not name the Experiment replacement", name)
+		}
+	}
+	// The new API itself must never be marked deprecated by accident.
+	for _, name := range []string{"NewExperiment", "Run", "WithReps", "WithCompare", "WithRuns"} {
+		if doc, ok := docs[name]; ok && strings.Contains(doc, "Deprecated:") {
+			t.Errorf("%s is marked Deprecated", name)
+		}
+	}
+}

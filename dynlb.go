@@ -6,7 +6,7 @@
 // strategies, which decide the degree of join parallelism and the selection
 // of join processors from the current CPU and memory situation.
 //
-// Quick start:
+// Quick start — one simulation run:
 //
 //	cfg := dynlb.DefaultConfig()
 //	cfg.NPE = 40
@@ -19,21 +19,51 @@
 // OPT-IO-CPU. Custom strategies implement the Strategy interface over the
 // control node's View.
 //
-// For means with confidence intervals instead of single-run point
-// estimates, replicate across deterministic seeds: RunReplicated runs one
-// configuration once per seed, RunFigureReplicated replicates every point
-// of a figure sweep, and ReplicateSeeds derives the standard seed stream
-// (replicate 0 is the base seed; further replicates come from a
-// splitmix64 stream, independent of worker count).
+// # Experiments
 //
-// For head-to-head strategy comparisons, Compare/CompareReplicated and
-// RunFigureCompared run two strategies on identical replicate seeds
-// (common random numbers) and report paired per-metric deltas and relative
-// improvements whose paired-t confidence intervals are tighter than
-// independent seeds would give.
+// Sweeps are built and executed through one composable entry point: an
+// Experiment over a point source — Figure("6") reproduces a paper figure,
+// a Sweep varies any Config dimension along user-defined axes — refined by
+// functional options and executed by (*Experiment).Run:
+//
+//	rows, err := dynlb.NewExperiment(
+//		dynlb.Figure("6"),
+//		dynlb.WithScale(dynlb.ScaleQuick),
+//		dynlb.WithReps(5),                 // 5 deterministic seeds per point, 95% CIs
+//		dynlb.WithProgress(func(r dynlb.Row) { fmt.Println(r.Series, r.X, r.JoinRTMS) }),
+//	).Run(ctx)
+//
+// A custom sweep the paper never ran is a few lines — no fork of the
+// figure planners:
+//
+//	sweep := dynlb.Sweep{
+//		Name:       "rt-vs-disks",
+//		Base:       cfg,
+//		Strategies: []dynlb.Strategy{dynlb.MustStrategy("MIN-IO-SUOPT")},
+//		Axes: []dynlb.Axis{
+//			dynlb.IntAxis("disks/PE", func(c *dynlb.Config, d int) { c.DisksPerPE = d }, 1, 2, 5, 10),
+//		},
+//	}
+//	rows, err := dynlb.NewExperiment(sweep, dynlb.WithReps(3)).Run(ctx)
+//
+// Replication (WithReps/WithSeeds: across-replicate means with Student-t
+// confidence half-widths in Row.Rep) and paired comparison (WithCompare:
+// two strategies on identical replicate seeds — common random numbers —
+// with paired-t deltas in Row.Cmp) are orthogonal options, all points fan
+// out over one worker pool (WithWorkers), rows are bit-identical at any
+// worker count, ctx cancellation stops the sweep promptly, and WithProgress
+// streams rows in deterministic order as they complete. ReplicateSeeds
+// derives the standard seed stream (replicate 0 is the base seed; further
+// replicates come from a splitmix64 stream, independent of worker count).
+//
+// Rows serialize with WriteRowsCSV and WriteRowsJSON. The pre-Experiment
+// entry points (RunFigure*, RunReplicated*, Compare*) remain as thin
+// deprecated wrappers with bit-identical output.
 package dynlb
 
 import (
+	"fmt"
+
 	"dynlb/internal/config"
 	"dynlb/internal/core"
 	"dynlb/internal/costmodel"
@@ -100,11 +130,17 @@ func StrategyNames() []string { return core.Names() }
 // and the given selection policy name (RANDOM, LUC or LUM); it backs the
 // Fig. 1 response-time curves and ablations.
 func FixedDegree(p int, selection string) (Strategy, error) {
-	s, err := core.ByName("psu-opt+" + selection)
+	name := "psu-opt+" + selection
+	s, err := core.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	iso := s.(core.Isolated)
+	iso, ok := s.(core.Isolated)
+	if !ok {
+		// Guards against a future ByName routing a degree+selection name to a
+		// non-isolated implementation: fail with a diagnosis, not a panic.
+		return nil, fmt.Errorf("dynlb: FixedDegree needs an isolated degree+selection strategy, but %q is a %T", name, s)
+	}
 	iso.Deg = core.StaticDegree{P: p}
 	return iso, nil
 }

@@ -1,13 +1,14 @@
 // Paired strategy comparison under common random numbers (the Fig. 8
 // question: how much does dynamic load balancing buy over the static
-// baseline?). Both strategies simulate the identical replicate seeds, so
-// the per-replicate deltas cancel the workload noise the two runs share —
-// the paired confidence interval on the relative improvement is much
-// tighter than the interval independent seeds would give at the same
-// replicate count.
+// baseline?). A WithCompare experiment simulates both strategies on
+// identical replicate seeds, so the per-replicate deltas cancel the
+// workload noise the two runs share — the paired confidence interval on
+// the relative improvement is much tighter than the interval independent
+// seeds would give at the same replicate count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,13 +25,16 @@ func main() {
 	baseline := dynlb.MustStrategy("psu-opt+RANDOM") // static degree, random placement
 	dynamic := dynlb.MustStrategy("OPT-IO-CPU")      // integrated dynamic strategy
 
-	const reps = 5
-	cmp, err := dynlb.CompareReplicated(cfg, baseline, dynamic, dynlb.ReplicateSeeds(cfg.Seed, reps))
+	rows, err := dynlb.NewExperiment(
+		dynlb.Sweep{Name: "compare", Base: cfg}, // one configuration; WithCompare adds the strategy pair
+		dynlb.WithCompare(baseline, dynamic),
+		dynlb.WithReps(5),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	p := cmp.Pair
+	p := *rows[0].Cmp
 	fmt.Printf("%s (A) vs %s (B), %d PEs, %d paired replicates:\n\n",
 		p.StrategyA, p.StrategyB, cfg.NPE, p.Reps)
 	fmt.Printf("  join rt:   %8.1f ms  ->  %8.1f ms   improv %.1f%% ±%.1f%% (95%% CI)\n",

@@ -4,9 +4,14 @@
 // current CPU and memory situation. On larger systems the dynamic
 // strategies keep response times flat where static psu-opt placement
 // saturates the CPUs.
+//
+// The strategy × system-size grid is one Experiment over a custom Sweep:
+// the system size is the x axis, the strategies fan out per point, and all
+// simulations share one worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,27 +19,39 @@ import (
 )
 
 func main() {
-	strategies := []string{
-		"psu-opt+RANDOM", // static degree, random placement: the baseline
-		"psu-noIO+LUM",   // minimal no-overflow degree on the emptiest nodes
-		"pmu-cpu+LUM",    // degree reduced with CPU load (formula 3.2)
-		"OPT-IO-CPU",     // integrated: memory-driven degree under a CPU cap
+	cfg := dynlb.DefaultConfig()
+	cfg.JoinQPSPerPE = 0.25
+	cfg.MeasureTime = dynlb.Seconds(12)
+
+	sweep := dynlb.Sweep{
+		Name: "homogeneous",
+		Base: cfg,
+		Strategies: []dynlb.Strategy{
+			dynlb.MustStrategy("psu-opt+RANDOM"), // static degree, random placement: the baseline
+			dynlb.MustStrategy("psu-noIO+LUM"),   // minimal no-overflow degree on the emptiest nodes
+			dynlb.MustStrategy("pmu-cpu+LUM"),    // degree reduced with CPU load (formula 3.2)
+			dynlb.MustStrategy("OPT-IO-CPU"),     // integrated: memory-driven degree under a CPU cap
+		},
+		Axes: []dynlb.Axis{
+			dynlb.IntAxis("#PE", func(c *dynlb.Config, n int) { c.NPE = n }, 20, 60),
+		},
 	}
 
-	for _, n := range []int{20, 60} {
-		fmt.Printf("system size %d PEs, 0.25 join QPS/PE:\n", n)
-		for _, name := range strategies {
-			cfg := dynlb.DefaultConfig()
-			cfg.NPE = n
-			cfg.JoinQPSPerPE = 0.25
-			cfg.MeasureTime = dynlb.Seconds(12)
-			res, err := dynlb.Run(cfg, dynlb.MustStrategy(name))
-			if err != nil {
-				log.Fatal(err)
+	rows, err := dynlb.NewExperiment(sweep).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lastX := -1.0
+	for _, r := range rows {
+		if r.X != lastX {
+			if lastX >= 0 {
+				fmt.Println()
 			}
-			fmt.Printf("  %-16s rt=%7.0f ms   degree=%5.1f   cpu=%3.0f%%   tempIO=%6d pages\n",
-				name, res.JoinRT.MeanMS, res.AvgJoinDegree, 100*res.CPUUtil, res.TempIOPages)
+			fmt.Printf("system size %.0f PEs, 0.25 join QPS/PE:\n", r.X)
+			lastX = r.X
 		}
-		fmt.Println()
+		fmt.Printf("  %-16s rt=%7.0f ms   degree=%5.1f   cpu=%3.0f%%   tempIO=%6.0f pages\n",
+			r.Series, r.JoinRTMS, r.Extra["degree"], r.Extra["cpu%"], r.Extra["tempIO"])
 	}
 }

@@ -1,0 +1,479 @@
+package dynlb
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"dynlb/internal/engine"
+	"dynlb/internal/stats"
+)
+
+// Source is a point source for an Experiment: a set of sweep points, each a
+// full simulation configuration with its row coordinates. The built-in
+// sources are Figure (one of the paper's evaluation figures) and Sweep (a
+// user-defined sweep over arbitrary Config axes). The interface is sealed:
+// its methods are unexported so the planning contract can evolve without
+// breaking third-party code.
+type Source interface {
+	// label is the Row.Figure value of the source's rows.
+	label() string
+	// baseSeed is the seed replicate streams derive from when WithSeed is
+	// absent.
+	baseSeed() int64
+	// plan resolves the source into simulation jobs and row specs. scaleSet
+	// reports whether WithScale was given (a Sweep keeps its Base windows
+	// otherwise).
+	plan(scale Scale, scaleSet bool, seed int64) (*pointPlan, error)
+	// comparePlan resolves the source into its strategy-free workload
+	// points for a paired WithCompare experiment.
+	comparePlan(scale Scale, scaleSet bool, seed int64) ([]comparePoint, error)
+}
+
+// pointPlan is the executable form of a point source: one simulation job
+// per logical sweep point (cfg.Seed holds the base seed; replication
+// re-seeds the expansion) plus the row specs mapping point outcomes to
+// output rows. Rows are emitted in slice order.
+type pointPlan struct {
+	jobs []runJob
+	rows []rowSpec
+}
+
+// rowSpec is one output row: the indices of the logical points it consumes
+// and the pure function shaping their outcomes into the Row. A row with no
+// deps (e.g. Fig. 1a's analytic curve) is emitted immediately.
+//
+// Invariant every planner must keep: deps lists reference points first and
+// the row's OWN point last — WithRuns attaches the last dep's raw Results
+// to Row.Runs (plan8's improvement rows are the only multi-dep case today:
+// {baseline, own}).
+type rowSpec struct {
+	deps  []int
+	build func(outs []runOut) (Row, error)
+}
+
+// Experiment is the single execution path of the package: a point source
+// (Figure or Sweep) plus options selecting scale, seeding, replication,
+// paired comparison, parallelism and progress streaming. Build one with
+// NewExperiment and execute it with Run; the zero value is not usable.
+//
+// Replication (WithReps, WithSeeds) and paired comparison (WithCompare) are
+// orthogonal stages over the same point plan: every logical point expands
+// into its replicate (and strategy-pair) simulations, all jobs share one
+// worker pool, and each point's runs are aggregated back into one row. Rows
+// are a pure function of the source and options — bit-identical at any
+// worker count — and arrive in deterministic order.
+type Experiment struct {
+	src Source
+	o   expOptions
+}
+
+// expOptions is the resolved option set of an Experiment.
+type expOptions struct {
+	scale      Scale
+	scaleSet   bool
+	seed       int64
+	seedSet    bool
+	workers    int
+	reps       int
+	repsSet    bool
+	seeds      []int64
+	conf       float64
+	keepRuns   bool
+	compareSet bool
+	cmpA       Strategy
+	cmpB       Strategy
+	progress   func(Row)
+}
+
+// Option configures an Experiment.
+type Option func(*Experiment)
+
+// WithScale selects the simulation windows (warm-up, measurement) of every
+// point. Default: ScaleNormal for Figure sources; a Sweep keeps the windows
+// of its Base config unless this option is given.
+func WithScale(s Scale) Option {
+	return func(e *Experiment) { e.o.scale = s; e.o.scaleSet = true }
+}
+
+// WithSeed sets the base random seed of the experiment: the seed of every
+// unreplicated point and the root of the replicate seed stream. Default: 1
+// for Figure sources, Sweep.Base.Seed for sweeps.
+func WithSeed(seed int64) Option {
+	return func(e *Experiment) { e.o.seed = seed; e.o.seedSet = true }
+}
+
+// WithWorkers caps the number of concurrent simulations (<= 0 means
+// runtime.NumCPU, the default). Every job runs an independent kernel and
+// RNG, so the worker count never changes the rows.
+func WithWorkers(n int) Option {
+	return func(e *Experiment) { e.o.workers = n }
+}
+
+// WithReps replicates every sweep point across n deterministic seeds
+// (ReplicateSeeds of the base seed: replicate 0 is the base itself). At
+// n >= 2 each row reports across-replicate means with Student-t confidence
+// half-widths in Row.Rep; n <= 1 runs each point once with Row.Rep nil.
+// Mutually exclusive with WithSeeds.
+func WithReps(n int) Option {
+	return func(e *Experiment) { e.o.reps = n; e.o.repsSet = true }
+}
+
+// WithSeeds replicates every sweep point across an explicit seed list
+// instead of the derived ReplicateSeeds stream. Unlike WithReps(1), a
+// single explicit seed still aggregates (Row.Rep set with Reps == 1), so
+// callers get a uniform replicated shape. Mutually exclusive with WithReps.
+func WithSeeds(seeds ...int64) Option {
+	// The copy stays non-nil even for zero seeds, so an (invalid) empty
+	// explicit list is diagnosed rather than silently ignored.
+	return func(e *Experiment) { e.o.seeds = append(make([]int64, 0, len(seeds)), seeds...) }
+}
+
+// WithRuns attaches each row's raw per-replicate Results to Row.Runs, in
+// replicate-seed order, so per-seed data (scatter plots, custom
+// aggregation) survives the row aggregation. In a compared sweep the pair
+// interleaves {A, B} per seed; a row whose value derives from several
+// sweep points (Fig. 8's improvement rows) carries its own point's runs,
+// not the baseline's. Off by default to keep rows small.
+func WithRuns() Option {
+	return func(e *Experiment) { e.o.keepRuns = true }
+}
+
+// WithConfidence sets the confidence level in (0, 1) of replication and
+// comparison intervals. Default DefaultConfidence (0.95).
+func WithConfidence(conf float64) Option {
+	return func(e *Experiment) { e.o.conf = conf }
+}
+
+// WithCompare runs the experiment as a paired head-to-head comparison of a
+// baseline strategy a against a challenger b: the source's workload points
+// are stripped of their own strategy dimension, and every (point, replicate
+// seed) simulates once under each strategy on the identical seed (common
+// random numbers). Rows carry b's results plus the paired per-metric deltas
+// and relative improvements — with paired-t confidence half-widths — in
+// Row.Cmp.
+func WithCompare(a, b Strategy) Option {
+	return func(e *Experiment) { e.o.compareSet = true; e.o.cmpA, e.o.cmpB = a, b }
+}
+
+// WithProgress streams every completed row to fn. Rows arrive in their
+// final deterministic order (a row is delivered as soon as it and all rows
+// before it are complete), from the goroutine Run was called on, so fn
+// needs no locking. On success the returned slice repeats the same rows;
+// when Run fails (cancellation, job error) it returns nil and the stream
+// holds the deterministic prefix completed up to that point.
+func WithProgress(fn func(Row)) Option {
+	return func(e *Experiment) { e.o.progress = fn }
+}
+
+// NewExperiment builds an experiment over a point source. Invalid
+// combinations (unknown figure, empty sweep, WithReps together with
+// WithSeeds, confidence outside (0, 1)) are reported by Run.
+func NewExperiment(src Source, opts ...Option) *Experiment {
+	e := &Experiment{src: src}
+	e.o.scale = ScaleNormal
+	e.o.reps = 1
+	e.o.conf = DefaultConfidence
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// slot is one logical sweep point of the expanded schedule: a contiguous
+// range of physical jobs plus the aggregation folding their Results into
+// the point's runOut (identity for an unreplicated point, AggregateResults
+// for a replicated one, the paired aggregation for a compared one).
+type slot struct {
+	first, n int
+	finish   func(results []Results) (runOut, error)
+}
+
+// Run executes the experiment and returns its rows in deterministic order.
+// Cancelling ctx stops the sweep promptly: no new simulations start and Run
+// returns ctx.Err without waiting for in-flight points (each simulated
+// point is indivisible and finishes in the background).
+func (e *Experiment) Run(ctx context.Context) ([]Row, error) {
+	if e.src == nil {
+		return nil, fmt.Errorf("dynlb: Experiment needs a point source (Figure or Sweep)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := checkConfidence(e.o.conf); err != nil {
+		return nil, err
+	}
+	if e.o.seeds != nil && e.o.repsSet {
+		return nil, fmt.Errorf("dynlb: WithSeeds and WithReps are mutually exclusive")
+	}
+	seed := e.src.baseSeed()
+	if e.o.seedSet {
+		seed = e.o.seed
+	}
+	jobs, slots, rows, err := e.expand(seed)
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(ctx, jobs, slots, rows)
+}
+
+// expand resolves the source at the experiment's options and applies the
+// replication/comparison stages, producing the physical job schedule.
+func (e *Experiment) expand(seed int64) ([]runJob, []slot, []rowSpec, error) {
+	// compareSet, not a nil check on the pair: WithCompare(nil, nil) must be
+	// diagnosed, never degrade into a silently uncompared sweep.
+	if e.o.compareSet {
+		return e.expandCompared(seed)
+	}
+	p, err := e.src.plan(e.o.scale, e.o.scaleSet, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	seeds := e.o.seeds
+	if seeds == nil {
+		if e.o.reps <= 1 {
+			// Unreplicated: each point is its own single-job slot.
+			slots := make([]slot, len(p.jobs))
+			for i := range p.jobs {
+				slots[i] = slot{first: i, n: 1, finish: func(results []Results) (runOut, error) {
+					return runOut{res: results[0]}, nil
+				}}
+			}
+			return p.jobs, slots, p.rows, nil
+		}
+		seeds = stats.ReplicateSeeds(seed, e.o.reps)
+	}
+	if len(seeds) == 0 {
+		return nil, nil, nil, fmt.Errorf("dynlb: WithSeeds needs at least one seed")
+	}
+	conf := e.o.conf
+	all := make([]runJob, 0, len(p.jobs)*len(seeds))
+	slots := make([]slot, len(p.jobs))
+	for i, j := range p.jobs {
+		slots[i] = slot{first: len(all), n: len(seeds), finish: func(results []Results) (runOut, error) {
+			mean, rep := AggregateResults(results, conf)
+			r := rep
+			return runOut{res: mean, rep: &r}, nil
+		}}
+		for _, s := range seeds {
+			c := j.cfg
+			c.Seed = s
+			all = append(all, runJob{cfg: c, st: j.st})
+		}
+	}
+	return all, slots, p.rows, nil
+}
+
+// expandCompared builds the paired-comparison schedule: the source's
+// strategy-free workload points, each expanded into replicate × {A, B} jobs
+// sharing seeds, with one generic row per point.
+func (e *Experiment) expandCompared(seed int64) ([]runJob, []slot, []rowSpec, error) {
+	if e.o.cmpA == nil || e.o.cmpB == nil {
+		return nil, nil, nil, fmt.Errorf("dynlb: WithCompare needs both a baseline and a challenger strategy")
+	}
+	seeds := e.o.seeds
+	if seeds == nil {
+		if e.o.reps < 1 {
+			return nil, nil, nil, fmt.Errorf("dynlb: a compared experiment needs reps >= 1, got %d", e.o.reps)
+		}
+		seeds = stats.ReplicateSeeds(seed, e.o.reps)
+	}
+	if len(seeds) == 0 {
+		return nil, nil, nil, fmt.Errorf("dynlb: WithSeeds needs at least one seed")
+	}
+	pts, err := e.src.comparePlan(e.o.scale, e.o.scaleSet, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var (
+		label = e.src.label()
+		conf  = e.o.conf
+		reps  = len(seeds)
+		sa    = e.o.cmpA
+		sb    = e.o.cmpB
+	)
+	// Job layout: ((point*reps)+replicate)*2 + {A: 0, B: 1} — fixed, so the
+	// paired aggregation is independent of worker scheduling.
+	jobs := make([]runJob, 0, len(pts)*reps*2)
+	slots := make([]slot, len(pts))
+	rows := make([]rowSpec, len(pts))
+	for i, pt := range pts {
+		slots[i] = slot{first: len(jobs), n: 2 * reps, finish: func(results []Results) (runOut, error) {
+			runsA := make([]Results, reps)
+			runsB := make([]Results, reps)
+			for k := 0; k < reps; k++ {
+				runsA[k] = results[2*k]
+				runsB[k] = results[2*k+1]
+			}
+			meanB, repB := AggregateResults(runsB, conf)
+			pair, err := CompareResults(runsA, runsB, conf)
+			if err != nil {
+				return runOut{}, err
+			}
+			out := runOut{res: meanB, cmp: &pair}
+			if reps >= 2 {
+				rep := repB
+				out.rep = &rep
+			}
+			return out, nil
+		}}
+		for _, s := range seeds {
+			c := pt.cfg
+			c.Seed = s
+			jobs = append(jobs, runJob{cfg: c, st: sa}, runJob{cfg: c, st: sb})
+		}
+		rows[i] = rowSpec{deps: []int{i}, build: func(outs []runOut) (Row, error) {
+			out := outs[0]
+			series := pt.series
+			if series == "" {
+				series = fmt.Sprintf("%s vs %s", out.cmp.StrategyB, out.cmp.StrategyA)
+			}
+			return Row{
+				Figure: label, Series: series, X: pt.x, XLabel: pt.xlabel,
+				JoinRTMS: out.res.JoinRT.MeanMS,
+				Res:      out.res,
+				Rep:      out.rep,
+				Cmp:      out.cmp,
+			}, nil
+		}}
+	}
+	return jobs, slots, rows, nil
+}
+
+// execute runs the physical jobs on the worker pool, folds completed slots
+// into point outcomes, and emits rows in order as their dependencies
+// complete. Workers claim jobs from an atomic counter and report
+// completions over a buffered channel, so abandoning the sweep (ctx
+// cancelled, job error) never blocks an in-flight worker.
+func (e *Experiment) execute(ctx context.Context, jobs []runJob, slots []slot, rows []rowSpec) ([]Row, error) {
+	// A cancelled context delivers nothing: without this gate the initial
+	// emit below would stream dependency-free rows (e.g. Fig. 1a's analytic
+	// curve) that the nil return then disowns.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := e.o.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Map each physical job to its slot and count outstanding jobs per slot.
+	jobSlot := make([]int, len(jobs))
+	pending := make([]int, len(slots))
+	for s, sl := range slots {
+		pending[s] = sl.n
+		for i := sl.first; i < sl.first+sl.n; i++ {
+			jobSlot[i] = s
+		}
+	}
+
+	var (
+		results  = make([]Results, len(jobs))
+		done     = make(chan int, len(jobs))
+		failed   = make(chan error, workers+1)
+		next     atomic.Int64
+		stop     atomic.Bool
+		slotDone = make([]bool, len(slots))
+		outs     = make([]runOut, len(slots))
+		out      = make([]Row, 0, len(rows))
+		nextRow  = 0
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) || stop.Load() || ctx.Err() != nil {
+					return
+				}
+				sys, err := engine.New(jobs[i].cfg, jobs[i].st)
+				if err != nil {
+					stop.Store(true)
+					failed <- err
+					return
+				}
+				results[i] = sys.Run()
+				done <- i
+			}
+		}()
+	}
+	// emit builds and streams every row whose dependencies are complete, in
+	// row order, so the progress stream is a deterministic prefix of the
+	// final row slice.
+	emit := func() error {
+		for nextRow < len(rows) {
+			rs := &rows[nextRow]
+			for _, d := range rs.deps {
+				if !slotDone[d] {
+					return nil
+				}
+			}
+			depOuts := make([]runOut, len(rs.deps))
+			for k, d := range rs.deps {
+				depOuts[k] = outs[d]
+			}
+			r, err := rs.build(depOuts)
+			if err != nil {
+				return err
+			}
+			if e.o.keepRuns && len(depOuts) > 0 {
+				// The row's own point is its last dependency (earlier deps are
+				// references like Fig. 8's improvement baseline).
+				r.Runs = depOuts[len(depOuts)-1].runs
+			}
+			out = append(out, r)
+			if e.o.progress != nil {
+				e.o.progress(r)
+			}
+			nextRow++
+		}
+		return nil
+	}
+	if err := emit(); err != nil { // rows with no simulation deps
+		stop.Store(true)
+		return nil, err
+	}
+	for completed := 0; completed < len(jobs); {
+		// Re-check cancellation first: when both a completion and Done are
+		// ready, select picks randomly, and a cancelled sweep must not keep
+		// draining completions.
+		if err := ctx.Err(); err != nil {
+			stop.Store(true)
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+			return nil, ctx.Err()
+		case err := <-failed:
+			return nil, err
+		case i := <-done:
+			completed++
+			s := jobSlot[i]
+			if pending[s]--; pending[s] > 0 {
+				continue
+			}
+			sl := slots[s]
+			runs := results[sl.first : sl.first+sl.n]
+			o, err := sl.finish(runs)
+			if err != nil {
+				stop.Store(true)
+				return nil, err
+			}
+			if e.o.keepRuns {
+				o.runs = append([]Results(nil), runs...)
+			}
+			outs[s] = o
+			slotDone[s] = true
+			if err := emit(); err != nil {
+				stop.Store(true)
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,17 +1,13 @@
 package dynlb
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"dynlb/internal/config"
 	"dynlb/internal/core"
-	"dynlb/internal/engine"
 	"dynlb/internal/sim"
-	"dynlb/internal/stats"
 )
 
 // Scale selects the simulation window of the experiment harness: Quick for
@@ -51,24 +47,25 @@ func (s Scale) windows() (warmup, measure sim.Duration) {
 	}
 }
 
-// Row is one point of a reproduced figure: one (series, x) coordinate with
+// Row is one point of an experiment sweep: one (series, x) coordinate with
 // the measured response time and the full run results. In a replicated
-// sweep (RunFigureReplicated, reps >= 2) the scalar metrics — JoinRTMS,
-// Extra, Res — are across-replicate means and Rep carries the confidence
+// sweep (WithReps >= 2 or WithSeeds) the scalar metrics — JoinRTMS, Extra,
+// Res — are across-replicate means and Rep carries the confidence
 // half-widths; in an unreplicated sweep Rep is nil. In a compared sweep
-// (RunFigureCompared) the scalar metrics are the challenger strategy B's
-// and Cmp carries the paired A-vs-B deltas; otherwise Cmp is nil.
+// (WithCompare) the scalar metrics are the challenger strategy B's and Cmp
+// carries the paired A-vs-B deltas; otherwise Cmp is nil.
 type Row struct {
-	Figure string
-	Series string  // curve label: strategy name or mode
-	X      float64 // x coordinate (system size, degree, selectivity %)
-	XLabel string  // "#PE", "degree", "selectivity%"
+	Figure string  `json:"figure"` // source label: figure id or sweep name
+	Series string  `json:"series"` // curve label: strategy name or mode
+	X      float64 `json:"x"`      // x coordinate (system size, degree, selectivity %)
+	XLabel string  `json:"xlabel"` // "#PE", "degree", "selectivity%"
 
-	JoinRTMS float64
-	Extra    map[string]float64 // figure-specific values (improvement %, degree, ...)
-	Res      Results
-	Rep      *Replication      // replicate aggregates; nil when the sweep ran one seed per point
-	Cmp      *PairedComparison // paired A-vs-B aggregates; nil outside compared sweeps
+	JoinRTMS float64            `json:"join_rt_ms"`
+	Extra    map[string]float64 `json:"extra,omitempty"` // figure-specific values (improvement %, degree, ...)
+	Res      Results            `json:"results"`
+	Rep      *Replication       `json:"replication,omitempty"` // replicate aggregates; nil when the sweep ran one seed per point
+	Cmp      *PairedComparison  `json:"comparison,omitempty"`  // paired A-vs-B aggregates; nil outside compared sweeps
+	Runs     []Results          `json:"runs,omitempty"`        // raw per-replicate results; set only under WithRuns (compared sweeps interleave {A, B} per seed)
 }
 
 // Figures lists the reproducible figure identifiers of the paper's
@@ -95,10 +92,15 @@ func FigureDoc(fig string) string {
 
 // RunFigure regenerates one of the paper's figures at the given scale and
 // seed, returning the measured rows in deterministic order. It runs the
-// sweep's simulation points sequentially; use RunFigureParallel to spread
-// them over a worker pool.
+// sweep's simulation points sequentially.
+//
+// Deprecated: use the Experiment API, which composes scale, seeding,
+// replication, comparison and parallelism as options over one entry point:
+//
+//	NewExperiment(Figure(fig), WithScale(scale), WithSeed(seed), WithWorkers(1)).Run(ctx)
 func RunFigure(fig string, scale Scale, seed int64) ([]Row, error) {
-	return RunFigureParallel(fig, scale, seed, 1)
+	return NewExperiment(Figure(fig),
+		WithScale(scale), WithSeed(seed), WithWorkers(1)).Run(context.Background())
 }
 
 // RunFigureParallel is RunFigure with the figure's independent (config,
@@ -106,20 +108,13 @@ func RunFigure(fig string, scale Scale, seed int64) ([]Row, error) {
 // (workers <= 0 means runtime.NumCPU()). Every point runs its own kernel
 // seeded from the figure seed, so the rows are bit-identical at any
 // parallelism level and arrive in the same deterministic order.
+//
+// Deprecated: use the Experiment API:
+//
+//	NewExperiment(Figure(fig), WithScale(scale), WithSeed(seed), WithWorkers(workers)).Run(ctx)
 func RunFigureParallel(fig string, scale Scale, seed int64, workers int) ([]Row, error) {
-	p, err := planFigure(fig, scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	results, err := runJobs(p.jobs, workers)
-	if err != nil {
-		return nil, err
-	}
-	outs := make([]runOut, len(results))
-	for i, res := range results {
-		outs[i] = runOut{res: res}
-	}
-	return p.build(outs)
+	return NewExperiment(Figure(fig),
+		WithScale(scale), WithSeed(seed), WithWorkers(workers)).Run(context.Background())
 }
 
 // RunFigureReplicated is RunFigureParallel with every sweep point simulated
@@ -132,62 +127,42 @@ func RunFigureParallel(fig string, scale Scale, seed int64, workers int) ([]Row,
 // At reps <= 1 it is exactly RunFigureParallel — same rows, byte for byte,
 // with Rep nil. At reps >= 2 the rows are a pure function of (fig, scale,
 // seed, reps): bit-identical at any worker count.
+//
+// Deprecated: use the Experiment API:
+//
+//	NewExperiment(Figure(fig), WithScale(scale), WithSeed(seed), WithReps(reps), WithWorkers(workers)).Run(ctx)
 func RunFigureReplicated(fig string, scale Scale, seed int64, reps, workers int) ([]Row, error) {
 	return RunFigureReplicatedConf(fig, scale, seed, reps, DefaultConfidence, workers)
 }
 
 // RunFigureReplicatedConf is RunFigureReplicated at an explicit confidence
 // level in (0, 1).
+//
+// Deprecated: use the Experiment API with WithConfidence(conf).
 func RunFigureReplicatedConf(fig string, scale Scale, seed int64, reps int, conf float64, workers int) ([]Row, error) {
-	if err := checkConfidence(conf); err != nil {
-		return nil, err
-	}
-	if reps <= 1 {
-		return RunFigureParallel(fig, scale, seed, workers)
-	}
-	p, err := planFigure(fig, scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	seeds := stats.ReplicateSeeds(seed, reps)
-	all := make([]runJob, 0, len(p.jobs)*reps)
-	for _, j := range p.jobs {
-		for _, s := range seeds {
-			c := j.cfg
-			c.Seed = s
-			all = append(all, runJob{cfg: c, st: j.st})
-		}
-	}
-	results, err := runJobs(all, workers)
-	if err != nil {
-		return nil, err
-	}
-	outs := make([]runOut, len(p.jobs))
-	for i := range p.jobs {
-		mean, rep := AggregateResults(results[i*reps:(i+1)*reps], conf)
-		outs[i] = runOut{res: mean, rep: &rep}
-	}
-	return p.build(outs)
+	return NewExperiment(Figure(fig),
+		WithScale(scale), WithSeed(seed), WithReps(reps),
+		WithConfidence(conf), WithWorkers(workers)).Run(context.Background())
 }
 
-// CompareFigures lists the distinct workload sweeps RunFigureCompared
-// accepts: the strategy-sweep figures, whose x axis is a configuration
-// axis (system size, selectivity) that two strategies can be swept along
-// head to head. Figure "5" is also accepted but not listed — it shares
-// figure 6's workload axis (the two differ only in which strategies they
-// sweep, the dimension a comparison replaces), so listing both would make
-// "-fig all -compare" simulate the identical sweep twice. Figures
+// CompareFigures lists the distinct workload sweeps a compared figure
+// experiment accepts: the strategy-sweep figures, whose x axis is a
+// configuration axis (system size, selectivity) that two strategies can be
+// swept along head to head. Figure "5" is also accepted but not listed — it
+// shares figure 6's workload axis (the two differ only in which strategies
+// they sweep, the dimension a comparison replaces), so listing both would
+// make "-fig all -compare" simulate the identical sweep twice. Figures
 // 1a/1b/1c sweep the degree of parallelism through their strategies and
 // have no config axis to compare on.
 func CompareFigures() []string {
 	return []string{"6", "7", "8", "9a", "9b"}
 }
 
-// comparePoint is one workload configuration of a figure sweep — a point
-// of the figure's config axis with its row coordinates, stripped of the
-// strategy dimension. singleUser marks the zero-arrival-rate reference
-// points, which some planners route differently (fig 5/6 run the
-// single-user reference under psu-opt only).
+// comparePoint is one workload configuration of a sweep — a point of the
+// source's config axis with its row coordinates, stripped of the strategy
+// dimension. singleUser marks the zero-arrival-rate reference points, which
+// some planners route differently (fig 5/6 run the single-user reference
+// under psu-opt only).
 type comparePoint struct {
 	series     string
 	x          float64
@@ -283,18 +258,22 @@ func planCompareFigure(fig string, scale Scale, seed int64) ([]comparePoint, err
 // independent-seed experiment of the same size yields. Rows are a pure
 // function of (fig, scale, seed, strategies, reps): bit-identical at any
 // worker count.
+//
+// Deprecated: use the Experiment API:
+//
+//	NewExperiment(Figure(fig), WithScale(scale), WithSeed(seed),
+//		WithCompare(a, b), WithReps(reps), WithWorkers(workers)).Run(ctx)
 func RunFigureCompared(fig string, scale Scale, seed int64, stratA, stratB string, reps, workers int) ([]Row, error) {
 	return RunFigureComparedConf(fig, scale, seed, stratA, stratB, reps, DefaultConfidence, workers)
 }
 
 // RunFigureComparedConf is RunFigureCompared at an explicit confidence
 // level in (0, 1).
+//
+// Deprecated: use the Experiment API with WithCompare and WithConfidence.
 func RunFigureComparedConf(fig string, scale Scale, seed int64, stratA, stratB string, reps int, conf float64, workers int) ([]Row, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("dynlb: RunFigureCompared needs reps >= 1, got %d", reps)
-	}
-	if err := checkConfidence(conf); err != nil {
-		return nil, err
 	}
 	sa, err := core.ByName(stratA)
 	if err != nil {
@@ -304,78 +283,30 @@ func RunFigureComparedConf(fig string, scale Scale, seed int64, stratA, stratB s
 	if err != nil {
 		return nil, err
 	}
-	pts, err := planCompareFigure(fig, scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	seeds := stats.ReplicateSeeds(seed, reps)
-	// Job layout: ((point*reps)+replicate)*2 + {A: 0, B: 1} — fixed, so the
-	// paired aggregation below is independent of worker scheduling.
-	jobs := make([]runJob, 0, len(pts)*reps*2)
-	for _, pt := range pts {
-		for _, s := range seeds {
-			c := pt.cfg
-			c.Seed = s
-			jobs = append(jobs, runJob{cfg: c, st: sa}, runJob{cfg: c, st: sb})
-		}
-	}
-	results, err := runJobs(jobs, workers)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Row, len(pts))
-	for i, pt := range pts {
-		runsA := make([]Results, reps)
-		runsB := make([]Results, reps)
-		for k := 0; k < reps; k++ {
-			runsA[k] = results[(i*reps+k)*2]
-			runsB[k] = results[(i*reps+k)*2+1]
-		}
-		meanB, repB := AggregateResults(runsB, conf)
-		pair, err := CompareResults(runsA, runsB, conf)
-		if err != nil {
-			return nil, err
-		}
-		rows[i] = Row{
-			Figure: fig, Series: pt.series, X: pt.x, XLabel: pt.xlabel,
-			JoinRTMS: meanB.JoinRT.MeanMS,
-			Res:      meanB,
-			Cmp:      &pair,
-		}
-		if reps >= 2 {
-			rep := repB
-			rows[i].Rep = &rep
-		}
-	}
-	return rows, nil
+	return NewExperiment(Figure(fig),
+		WithScale(scale), WithSeed(seed), WithCompare(sa, sb), WithReps(reps),
+		WithConfidence(conf), WithWorkers(workers)).Run(context.Background())
 }
 
-// runJob is one independent simulation point of a figure sweep: a full
+// runJob is one independent simulation of an experiment schedule: a full
 // configuration plus the strategy to run it under.
 type runJob struct {
 	cfg Config
 	st  core.Strategy
 }
 
-// runOut is the outcome of one sweep point handed to a figure's row
-// builder: the (possibly replicate-averaged) results plus the replicate
-// aggregates when the sweep ran more than one seed per point.
+// runOut is the outcome of one sweep point handed to a row builder: the
+// (possibly replicate-averaged) results plus the replicate aggregates when
+// the point ran more than one seed, plus the paired aggregates when the
+// point ran a strategy comparison.
 type runOut struct {
-	res Results
-	rep *Replication
+	res  Results
+	rep  *Replication
+	cmp  *PairedComparison
+	runs []Results // raw per-replicate results (only under WithRuns)
 }
 
-// figurePlan separates a figure into its independent simulation jobs and
-// the pure function that shapes their outcomes into rows. RunFigureParallel
-// executes the jobs once; RunFigureReplicated fans every job out across
-// replicate seeds and feeds the builder replicate-aggregated outcomes — the
-// row-shaping logic is shared, so replication covers every figure for free.
-type figurePlan struct {
-	jobs  []runJob
-	build func(outs []runOut) ([]Row, error)
-}
-
-func planFigure(fig string, scale Scale, seed int64) (*figurePlan, error) {
+func planFigure(fig string, scale Scale, seed int64) (*pointPlan, error) {
 	switch fig {
 	case "1a":
 		return plan1a(scale, seed)
@@ -406,62 +337,6 @@ func jobFor(cfg Config, name string) (runJob, error) {
 	return runJob{cfg: cfg, st: st}, nil
 }
 
-// runJobs executes jobs with up to workers concurrent simulations and
-// returns the results indexed like jobs. Each job runs a fully independent
-// kernel and RNG (strategies are stateless values), so results do not
-// depend on the worker count or on scheduling order.
-func runJobs(jobs []runJob, workers int) ([]Results, error) {
-	results := make([]Results, len(jobs))
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for i, j := range jobs {
-			sys, err := engine.New(j.cfg, j.st)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = sys.Run()
-		}
-		return results, nil
-	}
-	var (
-		next    atomic.Int64
-		failed  atomic.Bool
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		jobErr  error
-	)
-	next.Store(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(jobs) || failed.Load() {
-					return
-				}
-				sys, err := engine.New(jobs[i].cfg, jobs[i].st)
-				if err != nil {
-					errOnce.Do(func() { jobErr = err })
-					failed.Store(true)
-					return
-				}
-				results[i] = sys.Run()
-			}
-		}()
-	}
-	wg.Wait()
-	if jobErr != nil {
-		return nil, jobErr
-	}
-	return results, nil
-}
-
 func baseCfg(scale Scale, seed int64) Config {
 	cfg := config.Default()
 	cfg.Seed = seed
@@ -473,50 +348,53 @@ func baseCfg(scale Scale, seed int64) Config {
 var fig1Degrees = []int{1, 2, 4, 8, 12, 16, 20, 24, 32, 40}
 
 // plan1a: the single-user response-time curve — analytic model plus
-// simulated single-user points at fixed degrees with RANDOM selection.
-func plan1a(scale Scale, seed int64) (*figurePlan, error) {
+// simulated single-user points at fixed degrees with RANDOM selection. The
+// analytic rows have no simulation dependencies and stream immediately.
+func plan1a(scale Scale, seed int64) (*pointPlan, error) {
 	cfg := baseCfg(scale, seed)
 	cfg.NPE = 40
-	var jobs []runJob
-	for _, p := range fig1Degrees {
+	p := &pointPlan{}
+	for _, deg := range fig1Degrees {
 		c := cfg
 		c.JoinQPSPerPE = 0 // single-user closed loop
-		st, err := FixedDegree(p, "RANDOM")
+		st, err := FixedDegree(deg, "RANDOM")
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, runJob{cfg: c, st: st})
+		p.jobs = append(p.jobs, runJob{cfg: c, st: st})
 	}
-	build := func(outs []runOut) ([]Row, error) {
-		curve := ResponseTimeCurve(cfg, cfg.NPE)
-		var rows []Row
-		for p := 1; p <= cfg.NPE; p++ {
-			rows = append(rows, Row{
-				Figure: "1a", Series: "analytic", X: float64(p), XLabel: "degree",
-				JoinRTMS: curve[p-1],
-			})
-		}
-		for i, p := range fig1Degrees {
-			rows = append(rows, Row{
-				Figure: "1a", Series: "simulated", X: float64(p), XLabel: "degree",
-				JoinRTMS: outs[i].res.JoinRT.MeanMS, Res: outs[i].res, Rep: outs[i].rep,
-			})
-		}
-		return rows, nil
+	curve := ResponseTimeCurve(cfg, cfg.NPE)
+	for deg := 1; deg <= cfg.NPE; deg++ {
+		x, rt := float64(deg), curve[deg-1]
+		p.rows = append(p.rows, rowSpec{build: func([]runOut) (Row, error) {
+			return Row{
+				Figure: "1a", Series: "analytic", X: x, XLabel: "degree",
+				JoinRTMS: rt,
+			}, nil
+		}})
 	}
-	return &figurePlan{jobs: jobs, build: build}, nil
+	for i, deg := range fig1Degrees {
+		x := float64(deg)
+		p.rows = append(p.rows, rowSpec{deps: []int{i}, build: func(outs []runOut) (Row, error) {
+			return Row{
+				Figure: "1a", Series: "simulated", X: x, XLabel: "degree",
+				JoinRTMS: outs[0].res.JoinRT.MeanMS, Res: outs[0].res, Rep: outs[0].rep,
+			}, nil
+		}})
+	}
+	return p, nil
 }
 
 // plan1bc: response time vs degree in multi-user mode — under CPU
 // contention (1b) the optimum shifts below the single-user optimum; under a
 // memory/disk bottleneck (1c) it shifts above.
-func plan1bc(scale Scale, seed int64, memBound bool) (*figurePlan, error) {
+func plan1bc(scale Scale, seed int64, memBound bool) (*pointPlan, error) {
 	figure := "1b"
 	if memBound {
 		figure = "1c"
 	}
-	var jobs []runJob
-	for _, p := range fig1Degrees {
+	p := &pointPlan{}
+	for i, deg := range fig1Degrees {
 		cfg := baseCfg(scale, seed)
 		cfg.NPE = 40
 		if memBound {
@@ -526,40 +404,37 @@ func plan1bc(scale Scale, seed int64, memBound bool) (*figurePlan, error) {
 		} else {
 			cfg.JoinQPSPerPE = 0.3 // drives high CPU utilization
 		}
-		st, err := FixedDegree(p, "RANDOM")
+		st, err := FixedDegree(deg, "RANDOM")
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, runJob{cfg: cfg, st: st})
-	}
-	build := func(outs []runOut) ([]Row, error) {
-		var rows []Row
-		for i, p := range fig1Degrees {
-			res := outs[i].res
-			rows = append(rows, Row{
-				Figure: figure, Series: "multi-user", X: float64(p), XLabel: "degree",
+		p.jobs = append(p.jobs, runJob{cfg: cfg, st: st})
+		x := float64(deg)
+		p.rows = append(p.rows, rowSpec{deps: []int{i}, build: func(outs []runOut) (Row, error) {
+			res := outs[0].res
+			return Row{
+				Figure: figure, Series: "multi-user", X: x, XLabel: "degree",
 				JoinRTMS: res.JoinRT.MeanMS,
 				Extra:    map[string]float64{"cpu%": 100 * res.CPUUtil, "tempIO": float64(res.TempIOPages)},
 				Res:      res,
-				Rep:      outs[i].rep,
-			})
-		}
-		return rows, nil
+				Rep:      outs[0].rep,
+			}, nil
+		}})
 	}
-	return &figurePlan{jobs: jobs, build: build}, nil
+	return p, nil
 }
 
 // figSizes are the system sizes of the Fig. 5/6/9 sweeps.
 var figSizes = []int{10, 20, 40, 60, 80}
 
 // sizeSweep accumulates (config, series label, system size) sweep points
-// and maps the pooled outcomes onto sizeRow rows. It is the shared scaffold
-// of every "#PE on the x axis" figure.
+// into a pointPlan whose rows mirror the points one to one. It is the
+// shared scaffold of every "#PE on the x axis" figure; post, if non-nil,
+// decorates each row from its run.
 type sizeSweep struct {
-	fig    string
-	jobs   []runJob
-	labels []string
-	sizes  []int
+	fig  string
+	post func(r *Row, res Results)
+	p    pointPlan
 }
 
 func (s *sizeSweep) add(cfg Config, name, label string, n int) error {
@@ -567,33 +442,28 @@ func (s *sizeSweep) add(cfg Config, name, label string, n int) error {
 	if err != nil {
 		return err
 	}
-	s.jobs = append(s.jobs, j)
-	s.labels = append(s.labels, label)
-	s.sizes = append(s.sizes, n)
+	idx := len(s.p.jobs)
+	s.p.jobs = append(s.p.jobs, j)
+	fig, post := s.fig, s.post
+	s.p.rows = append(s.p.rows, rowSpec{deps: []int{idx}, build: func(outs []runOut) (Row, error) {
+		r := sizeRow(fig, label, n, outs[0])
+		if post != nil {
+			post(&r, outs[0].res)
+		}
+		return r, nil
+	}})
 	return nil
 }
 
-// plan wraps the accumulated points into a figurePlan whose builder labels
-// the rows in point order; post, if non-nil, decorates each row from its
-// run.
-func (s *sizeSweep) plan(post func(r *Row, res Results)) *figurePlan {
-	build := func(outs []runOut) ([]Row, error) {
-		rows := make([]Row, len(outs))
-		for i, out := range outs {
-			rows[i] = sizeRow(s.fig, s.labels[i], s.sizes[i], out)
-			if post != nil {
-				post(&rows[i], out.res)
-			}
-		}
-		return rows, nil
-	}
-	return &figurePlan{jobs: s.jobs, build: build}
+func (s *sizeSweep) plan() *pointPlan {
+	p := s.p
+	return &p
 }
 
 // planBySize builds the standard "strategies × system sizes plus
 // single-user reference" sweep shared by Figs. 5 and 6, expanding the
 // shared workload axis (planCompareFigure) across the strategy list.
-func planBySize(fig string, scale Scale, seed int64, strategies []string) (*figurePlan, error) {
+func planBySize(fig string, scale Scale, seed int64, strategies []string) (*pointPlan, error) {
 	pts, err := planCompareFigure("6", scale, seed) // figs 5 and 6 share the workload axis
 	if err != nil {
 		return nil, err
@@ -614,17 +484,17 @@ func planBySize(fig string, scale Scale, seed int64, strategies []string) (*figu
 			}
 		}
 	}
-	return sweep.plan(nil), nil
+	return sweep.plan(), nil
 }
 
-func plan5(scale Scale, seed int64) (*figurePlan, error) {
+func plan5(scale Scale, seed int64) (*pointPlan, error) {
 	return planBySize("5", scale, seed, []string{
 		"psu-noIO+RANDOM", "psu-noIO+LUC", "psu-noIO+LUM",
 		"psu-opt+RANDOM", "psu-opt+LUC", "psu-opt+LUM",
 	})
 }
 
-func plan6(scale Scale, seed int64) (*figurePlan, error) {
+func plan6(scale Scale, seed int64) (*pointPlan, error) {
 	return planBySize("6", scale, seed, []string{
 		"MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+RANDOM", "pmu-cpu+LUM", "OPT-IO-CPU",
 	})
@@ -633,7 +503,7 @@ func plan6(scale Scale, seed int64) (*figurePlan, error) {
 // plan7 uses the memory-bound environment: one tenth of the memory, one
 // disk per PE, lower arrival rates; it reports the achieved degrees
 // alongside the response times (the paper annotates them on the bars).
-func plan7(scale Scale, seed int64) (*figurePlan, error) {
+func plan7(scale Scale, seed int64) (*pointPlan, error) {
 	pts, err := planCompareFigure("7", scale, seed)
 	if err != nil {
 		return nil, err
@@ -646,7 +516,7 @@ func plan7(scale Scale, seed int64) (*figurePlan, error) {
 			}
 		}
 	}
-	return sweep.plan(nil), nil
+	return sweep.plan(), nil
 }
 
 // fig8Rates are the per-selectivity arrival rates (QPS/PE at 60 PE) chosen,
@@ -658,7 +528,7 @@ var fig8Rates = map[float64]float64{
 	0.05:  0.065,
 }
 
-func plan8(scale Scale, seed int64) (*figurePlan, error) {
+func plan8(scale Scale, seed int64) (*pointPlan, error) {
 	strategies := []string{
 		"psu-noIO+LUM", "MIN-IO", "MIN-IO-SUOPT", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
@@ -667,32 +537,31 @@ func plan8(scale Scale, seed int64) (*figurePlan, error) {
 		return nil, err
 	}
 	// The psu-opt+RANDOM baseline of each selectivity is itself a sweep
-	// point: job layout is [base, strategies...] per selectivity, and the
-	// improvement percentages are computed after the pool drains.
-	var jobs []runJob
-	for _, pt := range pts {
+	// point: job layout is [base, strategies...] per selectivity, and every
+	// row depends on its own point plus the baseline point, so the
+	// improvement percentages stream as soon as both are simulated.
+	p := &pointPlan{}
+	perSel := 1 + len(strategies)
+	for si, pt := range pts {
 		for _, name := range append([]string{"psu-opt+RANDOM"}, strategies...) {
 			j, err := jobFor(pt.cfg, name)
 			if err != nil {
 				return nil, err
 			}
-			jobs = append(jobs, j)
+			p.jobs = append(p.jobs, j)
 		}
-	}
-	build := func(outs []runOut) ([]Row, error) {
-		var rows []Row
-		perSel := 1 + len(strategies)
-		for si, pt := range pts {
-			base := outs[si*perSel].res
-			for ni, name := range strategies {
-				out := outs[si*perSel+1+ni]
+		baseIdx := si * perSel
+		for ni, name := range strategies {
+			x, xlabel, series := pt.x, pt.xlabel, name
+			p.rows = append(p.rows, rowSpec{deps: []int{baseIdx, baseIdx + 1 + ni}, build: func(outs []runOut) (Row, error) {
+				base, out := outs[0].res, outs[1]
 				res := out.res
 				improvement := 0.0
 				if base.JoinRT.MeanMS > 0 {
 					improvement = 100 * (base.JoinRT.MeanMS - res.JoinRT.MeanMS) / base.JoinRT.MeanMS
 				}
-				rows = append(rows, Row{
-					Figure: "8", Series: name, X: pt.x, XLabel: pt.xlabel,
+				return Row{
+					Figure: "8", Series: series, X: x, XLabel: xlabel,
 					JoinRTMS: res.JoinRT.MeanMS,
 					Extra: map[string]float64{
 						"improvement%": improvement,
@@ -701,15 +570,14 @@ func plan8(scale Scale, seed int64) (*figurePlan, error) {
 					},
 					Res: res,
 					Rep: out.rep,
-				})
-			}
+				}, nil
+			}})
 		}
-		return rows, nil
 	}
-	return &figurePlan{jobs: jobs, build: build}, nil
+	return p, nil
 }
 
-func plan9(scale Scale, seed int64, figure string) (*figurePlan, error) {
+func plan9(scale Scale, seed int64, figure string) (*pointPlan, error) {
 	strategies := []string{
 		"psu-opt+RANDOM", "psu-noIO+RANDOM", "psu-noIO+LUM", "pmu-cpu+LUM", "OPT-IO-CPU",
 	}
@@ -717,7 +585,9 @@ func plan9(scale Scale, seed int64, figure string) (*figurePlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep := sizeSweep{fig: figure}
+	sweep := sizeSweep{fig: figure, post: func(r *Row, res Results) {
+		r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
+	}}
 	for _, pt := range pts {
 		for _, name := range strategies {
 			if err := sweep.add(pt.cfg, name, name, int(pt.x)); err != nil {
@@ -725,26 +595,13 @@ func plan9(scale Scale, seed int64, figure string) (*figurePlan, error) {
 			}
 		}
 	}
-	return sweep.plan(func(r *Row, res Results) {
-		r.Extra["oltpRTms"] = res.OLTPRT.MeanMS
-	}), nil
+	return sweep.plan(), nil
 }
 
+// sizeRow shapes a "#PE on the x axis" figure point; it is the custom
+// sweeps' sweepRow with the figure sweeps' fixed axis label.
 func sizeRow(fig, series string, n int, out runOut) Row {
-	res := out.res
-	return Row{
-		Figure: fig, Series: series, X: float64(n), XLabel: "#PE",
-		JoinRTMS: res.JoinRT.MeanMS,
-		Extra: map[string]float64{
-			"degree": res.AvgJoinDegree,
-			"cpu%":   100 * res.CPUUtil,
-			"disk%":  100 * res.DiskUtil,
-			"mem%":   100 * res.MemUtil,
-			"tempIO": float64(res.TempIOPages),
-		},
-		Res: res,
-		Rep: out.rep,
-	}
+	return sweepRow(fig, series, float64(n), "#PE", out)
 }
 
 // FormatRows renders rows as an aligned text table grouped by x value.
@@ -761,7 +618,12 @@ func FormatRows(rows []Row) string {
 		}
 	}
 	sort.Float64s(xs)
-	out := fmt.Sprintf("Figure %s: %s\n", rows[0].Figure, FigureDoc(rows[0].Figure))
+	doc := FigureDoc(rows[0].Figure)
+	out := "Figure " + rows[0].Figure
+	if doc != "" {
+		out += ": " + doc
+	}
+	out += "\n"
 	for _, x := range xs {
 		out += fmt.Sprintf("%s = %g\n", rows[0].XLabel, x)
 		for _, r := range rows {

@@ -116,44 +116,45 @@ func (s *System) Run() Results {
 	return s.results()
 }
 
-// Summary condenses a response-time sample.
+// Summary condenses a response-time sample. The JSON tags give sweep
+// exports (dynlb.WriteRowsJSON) stable snake_case keys.
 type Summary struct {
-	N      int
-	MeanMS float64
-	P95MS  float64
-	HW95MS float64 // 95% confidence half-width of the mean
+	N      int     `json:"n"`
+	MeanMS float64 `json:"mean_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	HW95MS float64 `json:"hw95_ms"` // 95% confidence half-width of the mean
 }
 
 // Results are the windowed metrics of one run, the quantities the paper's
 // figures report.
 type Results struct {
-	Strategy string
-	NPE      int
+	Strategy string `json:"strategy"`
+	NPE      int    `json:"npe"`
 
-	JoinRT Summary
-	OLTPRT Summary
-	ScanRT Summary // standalone scan query classes, if configured
+	JoinRT Summary `json:"join_rt"`
+	OLTPRT Summary `json:"oltp_rt"`
+	ScanRT Summary `json:"scan_rt"` // standalone scan query classes, if configured
 
-	AvgJoinDegree float64 // achieved degree of join parallelism
-	MeanMemWaitMS float64 // memory-queue wait per join process
+	AvgJoinDegree float64 `json:"avg_join_degree"`  // achieved degree of join parallelism
+	MeanMemWaitMS float64 `json:"mean_mem_wait_ms"` // memory-queue wait per join process
 
-	CPUUtil  float64 // mean over PEs in the window
-	DiskUtil float64
-	MemUtil  float64
-	MaxCPU   float64 // hottest PE
+	CPUUtil  float64 `json:"cpu_util"` // mean over PEs in the window
+	DiskUtil float64 `json:"disk_util"`
+	MemUtil  float64 `json:"mem_util"`
+	MaxCPU   float64 `json:"max_cpu"` // hottest PE
 
-	TempIOPages int64 // temporary-file pages in the window
-	MemWaits    int64 // buffer memory-queue entries (whole run)
-	MemSteals   int64 // frame steals from working spaces (whole run)
-	StolenPages int64
-	JoinsDone   int64
-	OLTPDone    int64
-	OLTPAborts  int64 // deadlock-victim aborts (retried)
-	JoinTPS     float64
-	OLTPTPS     float64
-	Deadlocks   int64
-	PsuOpt      int
-	PsuNoIO     int
+	TempIOPages int64   `json:"temp_io_pages"` // temporary-file pages in the window
+	MemWaits    int64   `json:"mem_waits"`     // buffer memory-queue entries (whole run)
+	MemSteals   int64   `json:"mem_steals"`    // frame steals from working spaces (whole run)
+	StolenPages int64   `json:"stolen_pages"`
+	JoinsDone   int64   `json:"joins_done"`
+	OLTPDone    int64   `json:"oltp_done"`
+	OLTPAborts  int64   `json:"oltp_aborts"` // deadlock-victim aborts (retried)
+	JoinTPS     float64 `json:"join_tps"`
+	OLTPTPS     float64 `json:"oltp_tps"`
+	Deadlocks   int64   `json:"deadlocks"`
+	PsuOpt      int     `json:"psu_opt"`
+	PsuNoIO     int     `json:"psu_no_io"`
 }
 
 func (s *System) results() Results {

@@ -1,0 +1,23 @@
+package dynlb
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteRowsJSON writes experiment rows as one pretty-printed JSON array so
+// sweep results are machine-consumable without CSV parsing. Unlike the
+// positional CSV columns, every row is self-describing: the coordinates and
+// headline response time at the top level, the full run Results under
+// "results", and — when present — the replicate aggregates under
+// "replication" and the paired A-vs-B aggregates under "comparison"
+// (absent fields are omitted, so unreplicated rows stay small). An empty
+// row set encodes as [], not null.
+func WriteRowsJSON(out io.Writer, rows []Row) error {
+	if rows == nil {
+		rows = []Row{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

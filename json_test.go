@@ -1,0 +1,73 @@
+package dynlb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteRowsJSONShape: the JSON export is a self-describing array —
+// coordinates and headline metrics at the top level, full Results nested,
+// replication/comparison blocks only when present.
+func TestWriteRowsJSONShape(t *testing.T) {
+	rows := []Row{
+		{
+			Figure: "6", Series: "OPT-IO-CPU", X: 40, XLabel: "#PE",
+			JoinRTMS: 123.5,
+			Extra:    map[string]float64{"degree": 12.5},
+			Res:      Results{Strategy: "OPT-IO-CPU", NPE: 40, JoinTPS: 9.5},
+			Rep: &Replication{
+				Reps: 3, Conf: 0.95,
+				JoinRTMS: MeanCI{Mean: 123.5, HW: 4.25},
+			},
+		},
+		{Figure: "6", Series: "plain", X: 80, XLabel: "#PE"},
+	}
+	var buf bytes.Buffer
+	if err := WriteRowsJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d rows, want 2", len(decoded))
+	}
+	r0 := decoded[0]
+	if r0["figure"] != "6" || r0["series"] != "OPT-IO-CPU" || r0["x"] != 40.0 || r0["join_rt_ms"] != 123.5 {
+		t.Errorf("top-level fields wrong: %v", r0)
+	}
+	res, ok := r0["results"].(map[string]any)
+	if !ok || res["strategy"] != "OPT-IO-CPU" || res["npe"] != 40.0 || res["join_tps"] != 9.5 {
+		t.Errorf("nested results wrong: %v", r0["results"])
+	}
+	rep, ok := r0["replication"].(map[string]any)
+	if !ok || rep["reps"] != 3.0 {
+		t.Errorf("replication block wrong: %v", r0["replication"])
+	}
+	ci, ok := rep["join_rt_ms"].(map[string]any)
+	if !ok || ci["mean"] != 123.5 || ci["hw"] != 4.25 {
+		t.Errorf("replication CI wrong: %v", rep["join_rt_ms"])
+	}
+	// Absent blocks are omitted, not null.
+	r1 := decoded[1]
+	for _, absent := range []string{"replication", "comparison", "extra"} {
+		if _, present := r1[absent]; present {
+			t.Errorf("unreplicated row serialized %q", absent)
+		}
+	}
+}
+
+// TestWriteRowsJSONEmpty: zero rows encode as an empty array, the shape
+// downstream parsers expect, never null.
+func TestWriteRowsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRowsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty rows encoded as %q, want []", got)
+	}
+}

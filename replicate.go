@@ -1,6 +1,7 @@
 package dynlb
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,8 +16,8 @@ const DefaultConfidence = 0.95
 // the half-width of its two-sided Student-t confidence interval at the
 // aggregation's confidence level (0 when fewer than two replicates).
 type MeanCI struct {
-	Mean float64
-	HW   float64
+	Mean float64 `json:"mean"`
+	HW   float64 `json:"hw"`
 }
 
 // String renders the metric as "mean ±hw".
@@ -25,17 +26,17 @@ func (m MeanCI) String() string { return fmt.Sprintf("%.2f ±%.2f", m.Mean, m.HW
 // Replication summarizes the spread of every reported metric across the
 // replicated runs of one sweep point or configuration.
 type Replication struct {
-	Reps int     // replicates aggregated
-	Conf float64 // confidence level of the half-widths (e.g. 0.95)
+	Reps int     `json:"reps"` // replicates aggregated
+	Conf float64 `json:"conf"` // confidence level of the half-widths (e.g. 0.95)
 
-	JoinRTMS MeanCI // join response time, ms
-	JoinTPS  MeanCI // join throughput, queries/s
-	OLTPRTMS MeanCI // OLTP response time, ms (zero without OLTP workload)
-	CPUUtil  MeanCI // mean CPU utilization, 0..1
-	DiskUtil MeanCI // mean disk utilization, 0..1
-	MemUtil  MeanCI // mean memory utilization, 0..1
-	Degree   MeanCI // achieved degree of join parallelism
-	TempIO   MeanCI // temporary-file I/O pages in the window
+	JoinRTMS MeanCI `json:"join_rt_ms"` // join response time, ms
+	JoinTPS  MeanCI `json:"join_tps"`   // join throughput, queries/s
+	OLTPRTMS MeanCI `json:"oltp_rt_ms"` // OLTP response time, ms (zero without OLTP workload)
+	CPUUtil  MeanCI `json:"cpu_util"`   // mean CPU utilization, 0..1
+	DiskUtil MeanCI `json:"disk_util"`  // mean disk utilization, 0..1
+	MemUtil  MeanCI `json:"mem_util"`   // mean memory utilization, 0..1
+	Degree   MeanCI `json:"degree"`     // achieved degree of join parallelism
+	TempIO   MeanCI `json:"temp_io"`    // temporary-file I/O pages in the window
 }
 
 // Replicated bundles the outcome of replicated runs of one configuration.
@@ -49,31 +50,29 @@ type Replicated struct {
 // run concurrently, one kernel each) and aggregates the runs at the default
 // 95% confidence level. Derive seeds with ReplicateSeeds for the standard
 // deterministic stream, or pass any explicit seed list.
+//
+// Deprecated: use the Experiment API over a single-point Sweep (WithRuns
+// recovers the per-replicate Results in Row.Runs):
+//
+//	NewExperiment(Sweep{Base: cfg, Strategies: []Strategy{s}}, WithSeeds(seeds...), WithRuns()).Run(ctx)
 func RunReplicated(cfg Config, s Strategy, seeds []int64) (Replicated, error) {
 	return RunReplicatedConf(cfg, s, seeds, DefaultConfidence)
 }
 
 // RunReplicatedConf is RunReplicated at an explicit confidence level in
 // (0, 1).
+//
+// Deprecated: use the Experiment API with WithConfidence(conf).
 func RunReplicatedConf(cfg Config, s Strategy, seeds []int64, conf float64) (Replicated, error) {
 	if len(seeds) == 0 {
 		return Replicated{}, fmt.Errorf("dynlb: RunReplicated needs at least one seed")
 	}
-	if err := checkConfidence(conf); err != nil {
-		return Replicated{}, err
-	}
-	jobs := make([]runJob, len(seeds))
-	for i, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		jobs[i] = runJob{cfg: c, st: s}
-	}
-	runs, err := runJobs(jobs, 0)
+	rows, err := NewExperiment(Sweep{Base: cfg, Strategies: []Strategy{s}},
+		WithSeeds(seeds...), WithConfidence(conf), WithRuns()).Run(context.Background())
 	if err != nil {
 		return Replicated{}, err
 	}
-	mean, rep := AggregateResults(runs, conf)
-	return Replicated{Runs: runs, Mean: mean, Rep: rep}, nil
+	return Replicated{Runs: rows[0].Runs, Mean: rows[0].Res, Rep: *rows[0].Rep}, nil
 }
 
 // ReplicateSeeds returns the standard replicate seed stream for a base
