@@ -39,6 +39,39 @@ func benchOLTP(b *testing.B, inline bool) {
 func BenchmarkOLTPTransaction(b *testing.B)       { benchOLTP(b, true) }
 func BenchmarkOLTPTransactionParked(b *testing.B) { benchOLTP(b, false) }
 
+// benchOLTPSpawned measures the arrival-loop shape — one process spawned
+// per transaction, exactly what startWorkload's open OLTP loop does — so
+// process birth is part of ns/op. With pooling the spawn hands the body to
+// a parked worker; the Unpooled variant pays a fresh goroutine, Proc and
+// resume channel per transaction (the pre-pool behavior).
+func benchOLTPSpawned(b *testing.B, pooled bool) {
+	cfg := config.Default()
+	cfg.NPE = 2
+	cfg.JoinQPSPerPE = 0
+	s := MustNew(cfg, core.MustByName("psu-opt+RANDOM"))
+	s.Kernel().SetSpawnPooling(pooled)
+	pe := s.pe(0)
+	done := sim.NewChan[int](s.k, "done")
+	runTxn := func(tp *sim.Proc) {
+		s.runOLTP(tp, pe, tp.Now())
+		done.Put(1)
+	}
+	s.k.Spawn("oltp-driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			s.k.Spawn("oltp-txn", runTxn)
+			done.Get(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.k.RunAll()
+	b.StopTimer()
+	s.k.Shutdown()
+}
+
+func BenchmarkOLTPSpawned(b *testing.B)         { benchOLTPSpawned(b, true) }
+func BenchmarkOLTPSpawnedUnpooled(b *testing.B) { benchOLTPSpawned(b, false) }
+
 // benchScanQuery measures one full standalone clustered scan query:
 // coordinator, fragment scans (sequential page reads with prefetch,
 // per-page tuple processing, result packets over the network) and the

@@ -123,7 +123,6 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 	q.joinMail = make([]*sim.Chan[jmsg], deg)
 	q.initWeights(deg)
 	for i := 0; i < deg; i++ {
-		i := i
 		q.joinMail[i] = sim.NewChan[jmsg](s.k, fmt.Sprintf("q%d/join%d", q.id, i))
 		jpe := s.pe(q.dec.JoinPEs[i])
 		s.sendCtl(p, coordPE, jpe.id, func() {
@@ -133,7 +132,6 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 		})
 	}
 	for i, ape := range q.aPEs {
-		i, ape := i, ape
 		s.sendCtl(p, coordPE, ape, func() {
 			s.k.Spawn(fmt.Sprintf("q%d/scanA%d", q.id, i), func(sp *sim.Proc) {
 				s.runScan(sp, q, s.pe(ape), true, i)
@@ -171,7 +169,6 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 
 	// Probing phase: start the B scans.
 	for i, bpe := range q.bPEs {
-		i, bpe := i, bpe
 		s.sendCtl(p, coordPE, bpe, func() {
 			s.k.Spawn(fmt.Sprintf("q%d/scanB%d", q.id, i), func(sp *sim.Proc) {
 				s.runScan(sp, q, s.pe(bpe), false, i)
@@ -205,15 +202,18 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 	}
 
 	// Read-only optimization: one commit round releases the read locks.
+	// The participant side — receive, release locks, ack — only charges CPU
+	// and wire holds, so it runs as a light process.
 	participants := 0
 	commitOne := func(target int) {
 		participants++
 		s.sendCtl(p, coordPE, target, func() {
-			s.k.Spawn("commit-participant", func(cp *sim.Proc) {
-				s.recvCtlCPU(cp, target)
-				s.pe(target).locks.ReleaseAll(q.txn)
-				s.sendCtl(cp, target, coordPE, func() {
-					q.coordMail.Put(cmsg{kind: cmsgAck, from: target})
+			s.k.SpawnFn(func() {
+				s.recvCtlCPUFn(target, func() {
+					s.pe(target).locks.ReleaseAll(q.txn)
+					s.sendCtlFn(target, coordPE, func() {
+						q.coordMail.Put(cmsg{kind: cmsgAck, from: target})
+					}, nopThen)
 				})
 			})
 		})
@@ -237,9 +237,10 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 	// Return the placement's reservation to the control node's ledger.
 	dec := q.dec
 	s.sendCtlAsync(coordPE, s.ctrlPE, func() {
-		s.k.Spawn("ctrl-release", func(cp *sim.Proc) {
-			s.recvCtlCPU(cp, s.ctrlPE)
-			s.ctrl.Release(dec)
+		s.k.SpawnFn(func() {
+			s.recvCtlCPUFn(s.ctrlPE, func() {
+				s.ctrl.Release(dec)
+			})
 		})
 	})
 
@@ -459,9 +460,26 @@ func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
 
 	res := &resultEmitter{s: s, q: q, pe: pe}
 
+	// The mailbox is drained in batches: a redistribution burst costs this
+	// process one wake-up instead of one per packet. The cursor carries
+	// unconsumed messages across the phase boundary — a drain behind
+	// jmsgAEOF may already hold the first probe packets, exactly the
+	// messages a single-Get loop would have left queued.
+	var batch []jmsg
+	cur := 0
+	next := func() jmsg {
+		if cur == len(batch) {
+			batch, _ = mail.GetAll(p, batch[:0])
+			cur = 0
+		}
+		m := batch[cur]
+		cur++
+		return m
+	}
+
 	// --- Building phase ---
 	for building := true; building; {
-		m, _ := mail.Get(p)
+		m := next()
 		switch m.kind {
 		case jmsgBuild:
 			s.recvDataCPU(p, pe.id, m.tuples)
@@ -486,7 +504,7 @@ func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
 
 	// --- Probing phase ---
 	for probing := true; probing; {
-		m, _ := mail.Get(p)
+		m := next()
 		switch m.kind {
 		case jmsgProbe:
 			s.recvDataCPU(p, pe.id, m.tuples)

@@ -12,7 +12,6 @@ import (
 // periodically informed by the processors about their current utilization").
 func (s *System) startReporters() {
 	for _, pe := range s.pes {
-		pe := pe
 		// Stagger first reports across the interval to avoid a thundering
 		// herd at the control node.
 		offset := sim.Duration(int64(pe.id)) * s.cfg.ReportInterval / sim.Duration(s.cfg.NPE)
@@ -23,9 +22,12 @@ func (s *System) startReporters() {
 				free := pe.buf.AvailNonQuery()
 				peID := pe.id
 				s.sendCtl(p, pe.id, s.ctrlPE, func() {
-					s.k.Spawn("ctrl-report", func(cp *sim.Proc) {
-						s.recvCtlCPU(cp, s.ctrlPE)
-						s.ctrl.Report(peID, u, free)
+					// The control-node side only charges CPU and updates
+					// the utilization table: run-to-completion, no process.
+					s.k.SpawnFn(func() {
+						s.recvCtlCPUFn(s.ctrlPE, func() {
+							s.ctrl.Report(peID, u, free)
+						})
 					})
 				})
 			}
@@ -36,16 +38,22 @@ func (s *System) startReporters() {
 // startWorkload launches the arrival processes.
 func (s *System) startWorkload() {
 	c := &s.cfg
+	// The per-arrival bodies below are hoisted out of the arrival loops and
+	// shared across every spawn: the coordinator PE rides the process as its
+	// SpawnArg scalar (the rng draw must stay in the arrival loop to keep
+	// the global rng consumption order), and the arrival timestamp is
+	// recovered as qp.Now() at body start — the start event fires at the
+	// spawn instant, before the clock can advance. One closure per loop
+	// instead of one per arrival.
 	if c.JoinQPSPerPE > 0 {
 		rate := c.JoinQPSPerPE * float64(c.NPE) // queries per second
 		s.k.Spawn("join-arrivals", func(p *sim.Proc) {
+			runQuery := func(qp *sim.Proc) {
+				s.runJoinQuery(qp, int(qp.Arg()), qp.Now())
+			}
 			for {
 				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
-				coord := s.rng.Intn(c.NPE)
-				arrival := s.k.Now()
-				s.k.Spawn("join-coord", func(qp *sim.Proc) {
-					s.runJoinQuery(qp, coord, arrival)
-				})
+				s.k.SpawnArg("join-coord", int64(s.rng.Intn(c.NPE)), runQuery)
 			}
 		})
 	} else {
@@ -61,25 +69,24 @@ func (s *System) startWorkload() {
 		class := c.ScanClasses[i]
 		rate := class.QPSPerPE * float64(c.NPE)
 		s.k.Spawn(fmt.Sprintf("scanq-arrivals/%s", class.Name), func(p *sim.Proc) {
+			runQuery := func(qp *sim.Proc) {
+				s.runScanQuery(qp, int(qp.Arg()), class, qp.Now())
+			}
 			for {
 				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
-				coord := s.rng.Intn(c.NPE)
-				arrival := s.k.Now()
-				s.k.Spawn("scanq-coord", func(qp *sim.Proc) {
-					s.runScanQuery(qp, coord, class, arrival)
-				})
+				s.k.SpawnArg("scanq-coord", int64(s.rng.Intn(c.NPE)), runQuery)
 			}
 		})
 	}
 	for _, peID := range s.oltpNodes() {
 		pe := s.pe(peID)
 		s.k.Spawn(fmt.Sprintf("pe%d/oltp-arrivals", peID), func(p *sim.Proc) {
+			runTxn := func(tp *sim.Proc) {
+				s.runOLTP(tp, pe, tp.Now())
+			}
 			for {
 				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / s.cfg.OLTP.TPSPerNode))
-				arrival := s.k.Now()
-				s.k.Spawn("oltp-txn", func(tp *sim.Proc) {
-					s.runOLTP(tp, pe, arrival)
-				})
+				s.k.Spawn("oltp-txn", runTxn)
 			}
 		})
 	}
@@ -113,7 +120,12 @@ func (s *System) Run() Results {
 	s.beginMeasurement()
 	s.k.Run(s.cfg.Warmup + s.cfg.MeasureTime)
 	s.detector.Stop()
-	return s.results()
+	res := s.results()
+	// Tear the process model down once the metrics are read: kill the live
+	// processes and dismiss the worker pool, so a sweep of many Systems
+	// does not accumulate one pool of parked goroutines per kernel.
+	s.k.Shutdown()
+	return res
 }
 
 // Summary condenses a response-time sample. The JSON tags give sweep

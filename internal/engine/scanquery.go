@@ -37,7 +37,6 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 
 	mail := sim.NewChan[cmsg](s.k, fmt.Sprintf("sq%d/coord", qid))
 	for i, home := range homes {
-		i, home := i, home
 		s.sendCtl(p, coordPE, home, func() {
 			s.k.Spawn(fmt.Sprintf("sq%d/scan%d", qid, i), func(sp *sim.Proc) {
 				s.runScanFragment(sp, scanFragment{
@@ -63,15 +62,16 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 		}
 	}
 
-	// Read-only commit round releases the fragment locks.
+	// Read-only commit round releases the fragment locks. The participant
+	// side only charges CPU and wire holds: run-to-completion, no process.
 	for _, home := range homes {
-		home := home
 		s.sendCtl(p, coordPE, home, func() {
-			s.k.Spawn("scanq-commit", func(cp *sim.Proc) {
-				s.recvCtlCPU(cp, home)
-				s.pe(home).locks.ReleaseAll(txn)
-				s.sendCtl(cp, home, coordPE, func() {
-					mail.Put(cmsg{kind: cmsgAck, from: home})
+			s.k.SpawnFn(func() {
+				s.recvCtlCPUFn(home, func() {
+					s.pe(home).locks.ReleaseAll(txn)
+					s.sendCtlFn(home, coordPE, func() {
+						mail.Put(cmsg{kind: cmsgAck, from: home})
+					}, nopThen)
 				})
 			})
 		})

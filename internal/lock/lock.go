@@ -256,8 +256,32 @@ func (t *Table) WaitsFor(edges map[TxnID][]TxnID) {
 // Abort removes txn's queued requests (waking them with ErrDeadlock) and
 // releases its held locks. Used by deadlock resolution.
 func (t *Table) Abort(txn TxnID) {
-	aborted := false
+	// Collect and sort the affected keys before touching anything: the
+	// Unparks and grants below assign event sequence numbers, so waking in
+	// entry-map iteration order would make every run with a deadlock abort
+	// nondeterministic (the same reason ReleaseAll sorts).
+	keys := make([]Key, 0, len(t.held[txn]))
 	for key, e := range t.entries {
+		if _, ok := e.holders[txn]; ok {
+			keys = append(keys, key)
+			continue
+		}
+		for _, r := range e.queue {
+			if r.txn == txn {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Space != keys[j].Space {
+			return keys[i].Space < keys[j].Space
+		}
+		return keys[i].Item < keys[j].Item
+	})
+	aborted := false
+	for _, key := range keys {
+		e := t.entries[key]
 		for i := 0; i < len(e.queue); {
 			r := e.queue[i]
 			if r.txn == txn {

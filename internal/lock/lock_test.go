@@ -259,3 +259,60 @@ func TestUnlockUnheldPanics(t *testing.T) {
 	}()
 	tbl.Unlock(1, key(1))
 }
+
+// TestAbortWakeOrderDeterministic pins the wake-up order of deadlock
+// resolution: Abort must grant the victim's released locks and abort its
+// queued requests in sorted key order, not lock-table map order — with 17
+// parked processes woken in one Abort call, map iteration would scramble
+// the event sequence (and therefore the whole simulation) on every run.
+func TestAbortWakeOrderDeterministic(t *testing.T) {
+	k := sim.NewKernel()
+	tbl := NewTable(k, "pe0")
+	const held = 16
+	var order []int64
+
+	// txn 50 holds key 21, which the victim will queue on.
+	k.Spawn("blocker", func(p *sim.Proc) {
+		tbl.Lock(p, 50, key(21), Exclusive)
+		p.Wait(10 * sim.Millisecond)
+		tbl.ReleaseAll(50)
+	})
+	// The victim (txn 99) holds keys 1..16 and waits on key 21.
+	k.Spawn("victim", func(p *sim.Proc) {
+		for i := int64(1); i <= held; i++ {
+			tbl.Lock(p, 99, key(i), Exclusive)
+		}
+		if err := tbl.Lock(p, 99, key(21), Exclusive); err == nil {
+			t.Error("victim lock on key 21 granted, want ErrDeadlock")
+		}
+		order = append(order, 21)
+		tbl.ReleaseAll(99)
+	})
+	// One waiter per held key, queued behind the victim.
+	for i := int64(1); i <= held; i++ {
+		k.SpawnAt(sim.Millisecond, "waiter", func(p *sim.Proc) {
+			if err := tbl.Lock(p, TxnID(i), key(i), Exclusive); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order = append(order, i)
+			tbl.ReleaseAll(TxnID(i))
+		})
+	}
+	k.At(2*sim.Millisecond, func() { tbl.Abort(99) })
+	k.RunAll()
+
+	want := make([]int64, 0, held+1)
+	for i := int64(1); i <= held; i++ {
+		want = append(want, i)
+	}
+	want = append(want, 21)
+	if len(order) != len(want) {
+		t.Fatalf("woke %d processes, want %d (order %v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}

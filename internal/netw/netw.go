@@ -90,7 +90,32 @@ func (nw *Network) Send(p *sim.Proc, from, to int, bytes int64, deliver func()) 
 	nw.k.After(nw.params.Latency, deliver)
 }
 
-// SendAsync transmits without blocking the caller: a helper process carries
+// SendFn is Send for run-to-completion light processes (sim.Kernel.SpawnFn):
+// the sender-side link occupancy is charged through Server.UseFn, then
+// `then` continues the caller at the point where Send would have returned
+// (deliver still runs after the propagation latency). Events land at the
+// same (time, seq) positions as Send's, so converting a call site is
+// dispatch-order-neutral.
+func (nw *Network) SendFn(from, to int, bytes int64, deliver, then func()) {
+	nw.check(from)
+	nw.check(to)
+	nw.msgs++
+	nw.bytes += bytes
+	if from == to {
+		nw.localMsgs++
+		deliver()
+		then()
+		return
+	}
+	pkts := nw.Packets(bytes)
+	nw.packets += int64(pkts)
+	nw.links[from].UseFn(sim.Duration(pkts)*nw.params.WirePerPacket, func() {
+		nw.k.After(nw.params.Latency, deliver)
+		then()
+	})
+}
+
+// SendAsync transmits without blocking the caller: a light process carries
 // the message through the sender link. Used for fire-and-forget control
 // messages (utilization reports, commit acknowledgements).
 func (nw *Network) SendAsync(from, to int, bytes int64, deliver func()) {
@@ -102,8 +127,8 @@ func (nw *Network) SendAsync(from, to int, bytes int64, deliver func()) {
 		deliver()
 		return
 	}
-	nw.k.Spawn("netw-send", func(p *sim.Proc) {
-		nw.Send(p, from, to, bytes, deliver)
+	nw.k.SpawnFn(func() {
+		nw.SendFn(from, to, bytes, deliver, func() {})
 	})
 }
 

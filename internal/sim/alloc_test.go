@@ -116,3 +116,32 @@ func TestHotPathZeroAllocs(t *testing.T) {
 		k.RunAll()
 	})
 }
+
+// TestSpawnZeroAllocs is the PR-6 gate for the million-client scenario: a
+// driver spawning one short-lived process per interval (the shape of every
+// OLTP transaction and commit participant). With worker pooling the spawn
+// path must not allocate in steady state — the Proc, its resume channel and
+// its goroutine stack are all reused from the pool, and the body is hoisted
+// so the only per-spawn state is the SpawnArg scalar.
+func TestSpawnZeroAllocs(t *testing.T) {
+	k := NewKernel()
+	stop := false
+	var sink int64
+	child := func(c *Proc) {
+		sink += c.Arg()
+		c.Wait(Microsecond)
+	}
+	k.Spawn("driver", func(p *Proc) {
+		for i := int64(0); !stop; i++ {
+			k.SpawnArg("child", i, child)
+			p.Wait(2 * Microsecond)
+		}
+	})
+	requireZeroAllocs(t, "spawn ephemeral", measureSteadyAllocs(t, k, 100*Microsecond))
+	stop = true
+	k.RunAll()
+	if s := k.Stats(); s.SpawnReuses == 0 {
+		t.Error("pool never engaged (SpawnReuses = 0)")
+	}
+	_ = sink
+}

@@ -137,3 +137,98 @@ func benchUncontendedUse(b *testing.B, inline bool) {
 
 func BenchmarkUncontendedUse(b *testing.B)       { benchUncontendedUse(b, true) }
 func BenchmarkUncontendedUseParked(b *testing.B) { benchUncontendedUse(b, false) }
+
+// benchSpawnEphemeral measures the full lifecycle of a short-lived process
+// — spawn, one timed hold, return — the shape of every OLTP transaction,
+// commit participant and control helper in the engine. With pooling the
+// spawn hands the body to a parked worker over its existing resume channel:
+// no goroutine birth, no channel, no Proc allocation. The Unpooled variant
+// pays a fresh goroutine per spawn — the pre-PR-6 behavior.
+func benchSpawnEphemeral(b *testing.B, pooled bool) {
+	k := NewKernel()
+	k.SetSpawnPooling(pooled)
+	n := 0
+	child := func(c *Proc) {
+		c.Wait(Microsecond)
+	}
+	k.Spawn("driver", func(p *Proc) {
+		for ; n < b.N; n++ {
+			k.Spawn("child", child)
+			p.Wait(2 * Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunAll()
+	b.StopTimer()
+	k.Shutdown()
+}
+
+func BenchmarkSpawnEphemeral(b *testing.B)         { benchSpawnEphemeral(b, true) }
+func BenchmarkSpawnEphemeralUnpooled(b *testing.B) { benchSpawnEphemeral(b, false) }
+
+// BenchmarkLightSpawn measures a run-to-completion process — SpawnFn plus
+// one UseFn hold on a free server — the light replacement for the ctl-send
+// and ctrl-decide helper processes. One event per stage, no goroutine or
+// Proc at all.
+func BenchmarkLightSpawn(b *testing.B) {
+	k := NewKernel()
+	srv := NewServer(k, "ctl", 1)
+	n := 0
+	var drive func()
+	drive = func() {
+		if n < b.N {
+			n++
+			k.SpawnFn(func() {
+				srv.UseFn(Microsecond, drive)
+			})
+		}
+	}
+	k.At(0, drive)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunAll()
+}
+
+// benchChanBurst measures consuming a 16-message burst: with GetAll the
+// consumer takes one wake-up and drains the buffer; with single Gets it
+// pays one Get per message (only the first blocks). ns/op is per message.
+func benchChanBurst(b *testing.B, batched bool) {
+	const burst = 16
+	k := NewKernel()
+	mail := NewChan[int](k, "mail")
+	n := 0
+	k.Spawn("producer", func(p *Proc) {
+		for ; n < b.N; n += burst {
+			for i := 0; i < burst; i++ {
+				mail.Put(i)
+			}
+			p.Wait(Microsecond)
+		}
+		mail.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		if batched {
+			var buf []int
+			for {
+				var ok bool
+				buf, ok = mail.GetAll(p, buf[:0])
+				if !ok {
+					return
+				}
+			}
+		} else {
+			for {
+				if _, ok := mail.Get(p); !ok {
+					return
+				}
+			}
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.RunAll()
+}
+
+func BenchmarkChanBurstGetAll(b *testing.B)    { benchChanBurst(b, true) }
+func BenchmarkChanBurstSingleGet(b *testing.B) { benchChanBurst(b, false) }

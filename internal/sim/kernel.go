@@ -45,14 +45,23 @@ type Kernel struct {
 	yield   chan struct{}
 	running bool
 	inline  bool // continuation fast path enabled (default true)
+	pooling bool // spawn reuses parked worker goroutines (default true)
+	killing bool // Shutdown in progress: resumes unwind via the kill sentinel
 	horizon Time // until of the active Run; valid while running
-	live    int  // processes spawned and not yet finished
 	blocked int  // processes parked on a resource or mailbox
 	procSeq int64
 
-	dispatched  int64 // events dispatched since kernel creation
-	inlineWakes int64 // blocks resolved in-context, without a goroutine switch
-	handoffs    int64 // goroutine switches into a process (direct or from root)
+	procs []*Proc   // live processes (spawned, not yet finished), registry order
+	freeW []*worker // parked pooled worker goroutines awaiting reuse
+
+	dispatched   int64 // events dispatched since kernel creation
+	inlineWakes  int64 // blocks resolved in-context, without a goroutine switch
+	handoffs     int64 // goroutine switches into a process (direct or from root)
+	goroutines   int   // worker goroutines alive (parked, running, or blocked)
+	spawnReuses  int64 // spawns served by a pooled worker instead of a new goroutine
+	lightSpawns  int64 // run-to-completion processes started via SpawnFn
+	batchedGets  int64 // Chan.GetAll drains
+	batchedItems int64 // messages delivered through GetAll drains
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -61,7 +70,21 @@ func NewKernel() *Kernel {
 	// instead of a send/receive pair on both sides: the sender never
 	// blocks, and the happens-before edge of the buffered send still
 	// orders all simulation state written before a handoff.
-	return &Kernel{yield: make(chan struct{}, 1), inline: true}
+	k := &Kernel{yield: make(chan struct{}, 1), inline: true, pooling: true}
+	k.cq.shift = calShift
+	return k
+}
+
+// SetSpawnPooling toggles worker-goroutine pooling. With it disabled every
+// Spawn starts a fresh goroutine that exits when the process returns (the
+// pre-pool behavior). Dispatch order — and therefore every simulation result
+// — is identical either way; the switch exists for benchmarks and
+// equivalence tests. It must not be called while Run is active.
+func (k *Kernel) SetSpawnPooling(enabled bool) {
+	if k.running {
+		panic("sim: SetSpawnPooling during Run")
+	}
+	k.pooling = enabled
 }
 
 // SetInlineDispatch toggles the continuation fast path. With it disabled
@@ -81,24 +104,39 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Live reports the number of processes that have been spawned and have not
 // yet returned.
-func (k *Kernel) Live() int { return k.live }
+func (k *Kernel) Live() int { return len(k.procs) }
 
 // Blocked reports the number of processes currently parked waiting for a
 // resource, store or mailbox (not those sleeping on the calendar).
 func (k *Kernel) Blocked() int { return k.blocked }
 
 // KernelStats is a snapshot of scheduling counters: how events are being
-// dispatched and how the calendar queue is coping with the workload's event
-// horizon. OverflowLen/OverflowPeak/Migrations diagnose a wheel-width
-// mismatch: a workload whose event gaps dwarf the wheel horizon shows high
-// overflow residency and heavy migration traffic, the signal to revisit the
-// static bucket width before investing in self-tuning.
+// dispatched, what the process model is costing, and how the calendar queue
+// is coping with the workload's event horizon.
+//
+// Spawns/SpawnReuses/LiveGoroutines characterize the process pool: in steady
+// state SpawnReuses tracks Spawns (every spawn reuses a parked worker) and
+// LiveGoroutines stays O(peak live processes) — not O(total spawned).
+// LightSpawns counts run-to-completion processes (SpawnFn) that needed no
+// goroutine at all; BatchedGets/BatchedItems measure mailbox-drain leverage
+// (items per wake-up). OverflowLen/OverflowPeak/OverflowPushes/Migrations
+// diagnose a wheel-width mismatch; WheelShift/WidthResizes record how the
+// self-tuning calendar responded (see calQueue.maybeWiden).
 type KernelStats struct {
 	Dispatched  int64 // events dispatched since kernel creation
 	InlineWakes int64 // blocks resolved in-context (continuation fast path, no switch)
 	Handoffs    int64 // goroutine switches into a process
 
+	Spawns         int64 // processes ever spawned (Spawn/SpawnAt/SpawnArg)
+	SpawnReuses    int64 // spawns served by a parked pooled worker (no goroutine birth)
+	LiveGoroutines int   // worker goroutines alive: parked in the pool, running, or blocked
+	LightSpawns    int64 // run-to-completion processes started via SpawnFn
+	BatchedGets    int64 // Chan.GetAll drains
+	BatchedItems   int64 // messages delivered through GetAll drains
+
 	WheelLen       int   // events currently in the calendar wheel
+	WheelShift     int   // current bucket-width exponent (bucket width = 1<<shift ns)
+	WidthResizes   int64 // times the self-tuning wheel doubled its bucket width
 	OverflowLen    int   // events currently in the overflow heap
 	OverflowPeak   int   // high-water overflow-heap residency
 	OverflowPushes int64 // enqueues that landed beyond the wheel horizon
@@ -111,7 +149,15 @@ func (k *Kernel) Stats() KernelStats {
 		Dispatched:     k.dispatched,
 		InlineWakes:    k.inlineWakes,
 		Handoffs:       k.handoffs,
+		Spawns:         k.procSeq,
+		SpawnReuses:    k.spawnReuses,
+		LiveGoroutines: k.goroutines,
+		LightSpawns:    k.lightSpawns,
+		BatchedGets:    k.batchedGets,
+		BatchedItems:   k.batchedItems,
 		WheelLen:       k.cq.wheelN,
+		WheelShift:     int(k.cq.shift),
+		WidthResizes:   k.cq.resizes,
 		OverflowLen:    len(k.cq.overflow),
 		OverflowPeak:   k.cq.overflowPeak,
 		OverflowPushes: k.cq.overflowPushes,
@@ -293,4 +339,65 @@ func (k *Kernel) RunAll() Time {
 // queue).
 func (k *Kernel) Pending() int {
 	return k.cq.len() + len(k.nowQ) - k.nowHead
+}
+
+// SpawnFn starts a run-to-completion "light" process: fn is scheduled as an
+// ordinary event at the current time and runs in kernel context — no
+// goroutine, no resume channel, no Proc allocation. fn must never block
+// (there is no process identity to suspend); timed holds are expressed
+// through the continuation primitives (Server.UseFn, netw.SendFn), which
+// schedule their follow-up events at exactly the (time, seq) positions the
+// equivalent Proc-based body would have, so converting a non-blocking Spawn
+// call site to SpawnFn leaves every simulation result bit-identical.
+func (k *Kernel) SpawnFn(fn func()) {
+	k.lightSpawns++
+	e := k.newEvent(k.now)
+	e.fn = fn
+	k.schedule(e)
+}
+
+// Shutdown terminates every live process and dismisses the worker pool,
+// releasing all goroutines and the memory their stacks and captured state
+// pin. Call it when a simulation is complete (after the final Run and after
+// results have been read): without it, a long sweep of independent
+// simulations would accumulate one pool of parked goroutines per kernel.
+//
+// Each live process is killed by injecting a panic sentinel at its blocked
+// resume point; the unwind runs the process's defers (admission tokens,
+// buffer space and locks are returned normally) and is recovered at the
+// spawn boundary. Pending calendar events are left in place — they will
+// simply never be dispatched. The kernel must not be used for further
+// simulation after Shutdown.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		panic("sim: Shutdown during Run")
+	}
+	k.killing = true
+	for len(k.procs) > 0 {
+		p := k.procs[len(k.procs)-1]
+		// Every live process is parked at a resume receive with an empty
+		// buffer (Run only returns once all ready events are dispatched),
+		// so this send is the kill signal, and the yield receive observes
+		// the goroutine's exit protocol.
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.killing = false
+	k.ReleaseWorkers()
+}
+
+// ReleaseWorkers dismisses the parked worker-goroutine pool (a nil-fn
+// resume makes a pooled worker return). Shutdown calls it; it is exported
+// for callers that never spawn blocking processes but still want to drop
+// the pool between simulations.
+func (k *Kernel) ReleaseWorkers() {
+	if k.running {
+		panic("sim: ReleaseWorkers during Run")
+	}
+	for i, w := range k.freeW {
+		w.proc.resume <- struct{}{}
+		k.freeW[i] = nil
+	}
+	k.goroutines -= len(k.freeW)
+	k.freeW = k.freeW[:0]
 }

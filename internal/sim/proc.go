@@ -3,10 +3,11 @@ package sim
 import "fmt"
 
 // Proc is the handle a simulated process uses to interact with the kernel.
-// A process is an ordinary function running on its own goroutine; every
-// blocking operation (Wait, Server.Use, Store.Get, Chan.Get, ...) suspends
-// the process and transfers dispatch to the kernel, which resumes it when
-// the corresponding event fires. Exactly one process runs at any instant.
+// A process is an ordinary function running on a kernel-owned goroutine;
+// every blocking operation (Wait, Server.Use, Store.Get, Chan.Get, ...)
+// suspends the process and transfers dispatch to the kernel, which resumes
+// it when the corresponding event fires. Exactly one process runs at any
+// instant.
 //
 // Suspension does not necessarily suspend the goroutine: with the
 // continuation fast path (Kernel.SetInlineDispatch, on by default) a
@@ -16,39 +17,176 @@ import "fmt"
 // process-to-process handoff). An uncontended timed hold — Wait after an
 // immediate Acquire, Server.Use on a free station — therefore runs entirely
 // switch-free when no other process has an intervening turn.
+//
+// Goroutines are pooled (Kernel.SetSpawnPooling, on by default): a process
+// that returns parks its worker goroutine on the kernel's free list instead
+// of exiting, and the next Spawn reuses it — identity fields (ID, Name, Arg)
+// are reset on reuse, so spawning is allocation-free in steady state and the
+// goroutine count is bounded by the peak number of live processes, not by
+// the total number ever spawned.
 type Proc struct {
-	k      *Kernel
-	id     int64
-	name   string
-	resume chan struct{}
-	done   bool
+	k       *Kernel
+	id      int64
+	name    string
+	resume  chan struct{}
+	done    bool
+	arg     int64
+	w       *worker // owning pooled worker; nil for unpooled processes
+	liveIdx int     // index in Kernel.procs while live
+}
+
+// worker is a pooled process goroutine: a parked goroutine plus the Proc
+// whose identity it lends to successive spawns. fn holds the next body
+// between assignment (Spawn) and execution (first resume); it is nil while
+// the worker is parked on the free list.
+type worker struct {
+	proc Proc
+	fn   func(*Proc)
+}
+
+// killSentinel is the panic payload Shutdown injects into a blocked process
+// to unwind its goroutine; runBody recovers exactly this type and re-panics
+// everything else.
+type killSentinel struct{}
+
+// runBody executes a process body, absorbing the Shutdown kill sentinel so
+// the caller can run the finish protocol either way. Its deferred recover
+// also means a killed body's own defers run — resources held across the
+// kill (admission tokens, buffer spaces) are returned like on any return.
+func runBody(p *Proc, fn func(*Proc)) (killed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r)
+			}
+			killed = true
+		}
+	}()
+	fn(p)
+	return false
+}
+
+// newWorker starts a pooled worker goroutine. The loop runs one process
+// body per resume cycle: a finishing body parks the worker on the kernel
+// free list and hands the ball to the root loop; a nil fn on wake means the
+// pool is being dismissed (ReleaseWorkers adjusts the counters); a wake
+// with killing set is a Shutdown kill arriving before the start event.
+func (k *Kernel) newWorker() *worker {
+	w := &worker{}
+	w.proc.k = k
+	// resume has capacity 1 for the same reason as Kernel.yield: the
+	// handoff send completes without blocking, halving the synchronization
+	// cost of a process switch. Between a handoff send and the matching
+	// receive neither side touches simulation state, so the brief overlap
+	// is race-free — and the same edge orders the spawner's writes to
+	// w.fn and the Proc identity fields before the worker reads them.
+	w.proc.resume = make(chan struct{}, 1)
+	w.proc.w = w
+	k.goroutines++
+	go func() {
+		for {
+			<-w.proc.resume
+			fn := w.fn
+			if fn == nil {
+				// Dismissed from the free list; the dismisser owns the
+				// goroutine counter, so touch nothing.
+				return
+			}
+			w.fn = nil
+			p := &w.proc
+			if k.killing {
+				// Killed between spawn and the start event: the body
+				// never ran, just retire the process.
+				k.finishProc(p)
+				k.goroutines--
+				k.yield <- struct{}{}
+				return
+			}
+			killed := runBody(p, fn)
+			k.finishProc(p)
+			if killed {
+				k.goroutines--
+				k.yield <- struct{}{}
+				return
+			}
+			// Park for reuse, then hand the ball to the root loop.
+			k.freeW = append(k.freeW, w)
+			k.yield <- struct{}{}
+		}
+	}()
+	return w
+}
+
+// runUnpooled is the body wrapper of a non-pooled process goroutine
+// (SetSpawnPooling(false)): one spawn, one goroutine, exit on return.
+func (k *Kernel) runUnpooled(p *Proc, fn func(*Proc)) {
+	<-p.resume
+	if !k.killing {
+		runBody(p, fn)
+	}
+	k.finishProc(p)
+	k.goroutines--
+	k.yield <- struct{}{}
+}
+
+// finishProc retires a returning (or killed) process: marks it done and
+// removes it from the live registry.
+func (k *Kernel) finishProc(p *Proc) {
+	p.done = true
+	last := len(k.procs) - 1
+	q := k.procs[last]
+	k.procs[p.liveIdx] = q
+	q.liveIdx = p.liveIdx
+	k.procs[last] = nil
+	k.procs = k.procs[:last]
 }
 
 // Spawn creates a process named name running fn and schedules its start at
 // the current simulated time. It returns immediately; fn runs when the
 // kernel reaches the start event.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	return k.SpawnAt(k.now, name, fn)
+	return k.spawn(k.now, name, 0, fn)
 }
 
 // SpawnAt creates a process whose execution starts at absolute time t.
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	return k.spawn(t, name, 0, fn)
+}
+
+// SpawnArg is Spawn carrying a small scalar argument the process reads via
+// Proc.Arg. Arrival loops use it to reuse one hoisted closure for every
+// spawn — the per-iteration value rides the Proc instead of forcing a fresh
+// capture per spawned process.
+func (k *Kernel) SpawnArg(name string, arg int64, fn func(p *Proc)) *Proc {
+	return k.spawn(k.now, name, arg, fn)
+}
+
+func (k *Kernel) spawn(t Time, name string, arg int64, fn func(p *Proc)) *Proc {
 	k.procSeq++
-	// resume has capacity 1 for the same reason as Kernel.yield: the
-	// handoff send completes without blocking, halving the synchronization
-	// cost of a process switch. Between a handoff send and the matching
-	// receive neither side touches simulation state, so the brief overlap
-	// is race-free.
-	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}, 1)}
-	k.live++
-	go func() {
-		<-p.resume
-		fn(p)
-		// The finishing process holds the ball; hand it to the root loop.
-		p.done = true
-		k.live--
-		k.yield <- struct{}{}
-	}()
+	var p *Proc
+	if k.pooling {
+		var w *worker
+		if n := len(k.freeW); n > 0 {
+			w = k.freeW[n-1]
+			k.freeW[n-1] = nil
+			k.freeW = k.freeW[:n-1]
+			k.spawnReuses++
+		} else {
+			w = k.newWorker()
+		}
+		w.fn = fn
+		p = &w.proc
+		p.done = false
+	} else {
+		p = &Proc{k: k, resume: make(chan struct{}, 1)}
+		k.goroutines++
+		go k.runUnpooled(p, fn)
+	}
+	p.id = k.procSeq
+	p.name = name
+	p.arg = arg
+	p.liveIdx = len(k.procs)
+	k.procs = append(k.procs, p)
 	k.atProc(t, p)
 	return p
 }
@@ -73,6 +211,9 @@ func (p *Proc) block() {
 		// Legacy path: park the goroutine, let the root loop dispatch.
 		k.yield <- struct{}{}
 		<-p.resume
+		if k.killing {
+			panic(killSentinel{})
+		}
 		return
 	}
 	for {
@@ -83,6 +224,9 @@ func (p *Proc) block() {
 			// dispatches our resume event.
 			k.yield <- struct{}{}
 			<-p.resume
+			if k.killing {
+				panic(killSentinel{})
+			}
 			return
 		}
 		if q := e.p; q != nil {
@@ -100,6 +244,9 @@ func (p *Proc) block() {
 			k.handoffs++
 			q.resume <- struct{}{}
 			<-p.resume
+			if k.killing {
+				panic(killSentinel{})
+			}
 			return
 		}
 		fn := e.fn
@@ -141,6 +288,10 @@ func (p *Proc) Name() string { return p.name }
 
 // ID returns the unique process id (assigned in spawn order).
 func (p *Proc) ID() int64 { return p.id }
+
+// Arg returns the scalar argument passed to SpawnArg (zero for processes
+// started by Spawn/SpawnAt).
+func (p *Proc) Arg() int64 { return p.arg }
 
 // Wait suspends the process for d of simulated time. This is the simulator's
 // dominant primitive (every timed hold is a Wait); on the continuation fast
