@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"dynlb"
 	"dynlb/internal/prof"
@@ -50,6 +51,8 @@ func run() (code int) {
 		reps     = flag.Int("reps", 1, "replicated runs across derived seeds (>= 2 adds confidence intervals)")
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		compare  = flag.String("compare", "", "compare two strategies A,B on this configuration (paired replicate seeds; overrides -strategy)")
+		profile  = flag.String("profile", "", "load profile making the workload non-stationary, e.g. flash:start=5s,duration=5s,factor=4 (see dynlb.ParseProfile)")
+		window   = flag.String("window", "", "metrics window width (e.g. 1s): report adds a per-window transient table")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
@@ -86,6 +89,23 @@ func run() (code int) {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -oltp %q\n", *oltp)
 		return 2
+	}
+
+	if *profile != "" {
+		p, err := dynlb.ParseProfile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg.Profile = p
+	}
+	if *window != "" {
+		d, err := time.ParseDuration(*window)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "-window %q: want a positive duration like 1s or 500ms\n", *window)
+			return 2
+		}
+		cfg.MetricsWindow = dynlb.Duration(d)
 	}
 
 	if *reps < 1 {
@@ -140,6 +160,9 @@ func run() (code int) {
 	fmt.Printf("dynlb: %d PEs, strategy %s, join %.3f QPS/PE, selectivity %.2f%%, OLTP %s\n",
 		cfg.NPE, st.Name(), cfg.JoinQPSPerPE, 100*cfg.ScanSelectivity, cfg.OLTP.Placement)
 	fmt.Printf("planning: psu-opt=%d psu-noIO=%d\n", dynlb.PsuOpt(cfg), dynlb.PsuNoIO(cfg))
+	if !cfg.Profile.IsConstant() {
+		fmt.Printf("profile:  %s\n", cfg.Profile.String())
+	}
 
 	// One configuration = a single-point sweep; -reps plugs in replication.
 	rows, err := dynlb.NewExperiment(
@@ -174,6 +197,9 @@ func run() (code int) {
 	if res.Deadlocks > 0 {
 		fmt.Printf("deadlocks:      %d transactions aborted\n", res.Deadlocks)
 	}
+	if len(res.Windows) > 0 {
+		printWindows(res)
+	}
 	if rep != nil {
 		fmt.Printf("spread:         rt ±%.1f ms   tput ±%.2f/s   cpu ±%.1f%%   disk ±%.1f%%   mem ±%.1f%%\n",
 			rep.JoinRTMS.HW, rep.JoinTPS.HW, 100*rep.CPUUtil.HW, 100*rep.DiskUtil.HW, 100*rep.MemUtil.HW)
@@ -182,6 +208,26 @@ func run() (code int) {
 		}
 	}
 	return 0
+}
+
+// printWindows renders the windowed transient table: one line per metrics
+// window plus the derived peak and recovery summary. With -reps >= 2 the
+// window metrics are across-replicate means on the shared window grid.
+func printWindows(res dynlb.Results) {
+	fmt.Printf("\nwindows:        %d x %.0f ms\n", len(res.Windows), res.WindowMS)
+	fmt.Printf("  %8s %8s %6s %9s %9s %7s %6s %6s %6s\n",
+		"start_ms", "end_ms", "joins", "rt_ms", "p95_ms", "tps", "cpu%", "disk%", "mem%")
+	for _, w := range res.Windows {
+		fmt.Printf("  %8.0f %8.0f %6d %9.1f %9.1f %7.2f %6.1f %6.1f %6.1f\n",
+			w.StartMS, w.EndMS, w.Joins, w.RTMeanMS, w.RTP95MS, w.JoinTPS,
+			100*w.CPUUtil, 100*w.DiskUtil, 100*w.MemUtil)
+	}
+	fmt.Printf("transient:      peak window rt %.1f ms", res.PeakWindowRTMS)
+	if res.RecoveryMS < 0 {
+		fmt.Printf(", no recovery to within 10%% of the pre-peak mean\n")
+	} else {
+		fmt.Printf(", recovered in %.0f ms\n", res.RecoveryMS)
+	}
 }
 
 // runCompare runs the paired head-to-head mode: both strategies simulate

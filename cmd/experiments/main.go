@@ -56,6 +56,8 @@ func run() (code int) {
 		reps     = flag.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		compare  = flag.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
+		profile  = flag.String("profile", "", "load profile making the workload non-stationary, e.g. square:factor=4,period=2s,duty=0.5 (see dynlb.ParseProfile)")
+		window   = flag.String("window", "", "metrics window width (e.g. 1s): adds per-window transient metrics to every row")
 		outF     = flag.String("out", "", "also write rows to this file (see -format)")
 		format   = flag.String("format", "csv", "row file format for -out: csv or json")
 		csvF     = flag.String("csv", "", "deprecated alias for -out with -format csv")
@@ -85,6 +87,24 @@ func run() (code int) {
 	if !(*ci > 0 && *ci < 1) {
 		fmt.Fprintf(os.Stderr, "-ci %v outside (0,1)\n", *ci)
 		return 2
+	}
+	var loadProf dynlb.LoadProfile
+	if *profile != "" {
+		p, err := dynlb.ParseProfile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		loadProf = p
+	}
+	var winWidth dynlb.Duration
+	if *window != "" {
+		d, err := time.ParseDuration(*window)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "-window %q: want a positive duration like 1s or 500ms\n", *window)
+			return 2
+		}
+		winWidth = dynlb.Duration(d)
 	}
 	if *format != "csv" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want csv or json)\n", *format)
@@ -139,6 +159,12 @@ func run() (code int) {
 		dynlb.WithReps(*reps),
 		dynlb.WithConfidence(*ci),
 		dynlb.WithWorkers(*parallel),
+	}
+	if *profile != "" {
+		opts = append(opts, dynlb.WithProfile(loadProf))
+	}
+	if winWidth > 0 {
+		opts = append(opts, dynlb.WithMetricsWindow(winWidth))
 	}
 	if *compare != "" {
 		nameA, nameB, err := dynlb.SplitCompare(*compare)

@@ -20,10 +20,16 @@ import (
 // half-widths are the tighter ones. Corr is the sample correlation of the
 // pairs — the share of run-to-run variance the shared seeds cancel.
 type DeltaCI struct {
-	A                float64 `json:"a"`                  // across-replicate mean under A
-	B                float64 `json:"b"`                  // across-replicate mean under B
-	Delta            MeanCI  `json:"delta"`              // B − A, paired-t half-width
-	Improv           MeanCI  `json:"improv"`             // 100·(A − B)/A in %, paired-t half-width
+	A     float64 `json:"a"`     // across-replicate mean under A
+	B     float64 `json:"b"`     // across-replicate mean under B
+	Delta MeanCI  `json:"delta"` // B − A, paired-t half-width
+	// Improv is the mean per-pair relative improvement 100·(A − B)/A in %,
+	// with its paired-t half-width. The ratio is defined iff the pair's A
+	// value is non-zero: pairs with A exactly 0 carry no relative
+	// information and are excluded from the mean, and a metric whose
+	// baseline is zero in every replicate (e.g. OLTP response time without
+	// an OLTP workload) reports 0 — never ±Inf or NaN.
+	Improv           MeanCI  `json:"improv"`
 	UnpairedDeltaHW  float64 `json:"unpaired_delta_hw"`  // independent-seed half-width on B − A
 	UnpairedImprovHW float64 `json:"unpaired_improv_hw"` // independent-seed half-width on the improvement
 	Corr             float64 `json:"corr"`               // sample correlation of the paired replicates

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WriteRowsCSV writes figure rows in the experiments CSV format: the fixed
@@ -19,14 +20,20 @@ import (
 // follow: the strategy pair, both response-time means, the paired delta and
 // relative improvement with their paired-t half-widths, the half-width an
 // independent-seed experiment would give, and the replicate correlation.
-// Unreplicated, uncompared output is unchanged, so goldens locked at reps=1
-// stay valid.
+// When any row carries windowed metrics (Results.Windows from a
+// Config.MetricsWindow/WithMetricsWindow run), windowed columns follow: the
+// window count and width, the derived peak-window response time and
+// recovery time, and the per-window series (response-time mean/p95,
+// throughput, CPU/disk/memory utilization) packed as semicolon-separated
+// values in window order. Unreplicated, uncompared, unwindowed output is
+// unchanged, so goldens locked at reps=1 stay valid.
 func WriteRowsCSV(out io.Writer, rows []Row) error {
 	w := csv.NewWriter(out)
 
 	keys := map[string]bool{}
 	replicated := false
 	compared := false
+	windowed := false
 	for _, r := range rows {
 		for k := range r.Extra {
 			keys[k] = true
@@ -36,6 +43,9 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 		}
 		if r.Cmp != nil {
 			compared = true
+		}
+		if len(r.Res.Windows) > 0 {
+			windowed = true
 		}
 	}
 	extras := make([]string, 0, len(keys))
@@ -54,6 +64,11 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 			"strategy_a", "strategy_b", "rt_a_ms", "rt_b_ms",
 			"rt_delta_ms", "rt_delta_hw_ms", "rt_improv_pct", "rt_improv_hw_pct",
 			"rt_unpaired_improv_hw_pct", "rt_corr")
+	}
+	if windowed {
+		header = append(header,
+			"windows", "window_ms", "peak_win_rt_ms", "recovery_ms",
+			"win_rt_mean_ms", "win_rt_p95_ms", "win_tps", "win_cpu", "win_disk", "win_mem")
 	}
 	if err := w.Write(header); err != nil {
 		return err
@@ -110,10 +125,43 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 				)
 			}
 		}
+		if windowed {
+			if len(r.Res.Windows) == 0 {
+				// Steady-state row in a windowed sweep (e.g. mixed sources).
+				rec = append(rec, "", "", "", "", "", "", "", "", "", "")
+			} else {
+				rec = append(rec,
+					strconv.Itoa(len(r.Res.Windows)),
+					strconv.FormatFloat(r.Res.WindowMS, 'g', -1, 64),
+					strconv.FormatFloat(r.Res.PeakWindowRTMS, 'f', 2, 64),
+					strconv.FormatFloat(r.Res.RecoveryMS, 'f', 2, 64),
+					packWindows(r.Res.Windows, 2, func(w Window) float64 { return w.RTMeanMS }),
+					packWindows(r.Res.Windows, 2, func(w Window) float64 { return w.RTP95MS }),
+					packWindows(r.Res.Windows, 3, func(w Window) float64 { return w.JoinTPS }),
+					packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.CPUUtil }),
+					packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.DiskUtil }),
+					packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.MemUtil }),
+				)
+			}
+		}
 		if err := w.Write(rec); err != nil {
 			return err
 		}
 	}
 	w.Flush()
 	return w.Error()
+}
+
+// packWindows renders one per-window metric as a semicolon-separated series
+// in window order — one CSV cell per metric, keeping the row count
+// independent of the window count.
+func packWindows(ws []Window, prec int, get func(Window) float64) string {
+	var b strings.Builder
+	for i, w := range ws {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatFloat(get(w), 'f', prec, 64))
+	}
+	return b.String()
 }

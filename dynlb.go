@@ -109,6 +109,59 @@ type Results = engine.Results
 // Summary condenses a response-time distribution.
 type Summary = engine.Summary
 
+// Window is one fixed-width metrics slice of a windowed run (see
+// Config.MetricsWindow and WithMetricsWindow).
+type Window = engine.Window
+
+// LoadProfile modulates arrival rates and redistribution skew over
+// simulated time (see Config.Profile and WithProfile). Build one with the
+// profile constructors below or parse a -profile flag spec with
+// ParseProfile; the zero value is the constant (steady-state) profile.
+type LoadProfile = config.LoadProfile
+
+// ProfileKind selects the shape of a LoadProfile.
+type ProfileKind = config.ProfileKind
+
+// Profile kinds.
+const (
+	ProfileConstant = config.ProfileConstant
+	ProfileSquare   = config.ProfileSquare
+	ProfileDiurnal  = config.ProfileDiurnal
+	ProfileDrift    = config.ProfileDrift
+	ProfileFlash    = config.ProfileFlash
+)
+
+// ConstantProfile returns the steady-state (identity) load profile.
+func ConstantProfile() LoadProfile { return config.ConstantProfile() }
+
+// SquareWave returns a square-wave burst profile: arrival rate × factor for
+// the first duty fraction of every period.
+func SquareWave(factor float64, period sim.Duration, duty float64) LoadProfile {
+	return config.SquareWave(factor, period, duty)
+}
+
+// DiurnalProfile returns a sinusoidal arrival-rate profile:
+// rate × (1 + amp·sin(2πt/period)).
+func DiurnalProfile(amp float64, period sim.Duration) LoadProfile {
+	return config.Diurnal(amp, period)
+}
+
+// SkewDrift returns a profile drifting the redistribution skew by slope per
+// simulated second from the measurement start.
+func SkewDrift(slope float64) LoadProfile { return config.SkewDrift(slope) }
+
+// FlashCrowd returns a flash-crowd profile: inside [start, start+duration)
+// the arrival rate is multiplied by factor and the redistribution skew
+// raised by hotSkew.
+func FlashCrowd(start, duration sim.Duration, factor, hotSkew float64) LoadProfile {
+	return config.FlashCrowd(start, duration, factor, hotSkew)
+}
+
+// ParseProfile parses a load-profile spec in the commands' -profile syntax,
+// e.g. "square:factor=4,period=2s,duty=0.5" (see config.ParseProfile for
+// the full grammar).
+func ParseProfile(spec string) (LoadProfile, error) { return config.ParseProfile(spec) }
+
 // DefaultConfig returns the paper's Fig. 4 parameter settings (80 PEs,
 // 20 MIPS CPUs, 50-page buffers, 10 disks/PE, 1% scan selectivity,
 // single-user join workload, no OLTP).
@@ -172,6 +225,10 @@ func ResponseTimeCurve(cfg Config, maxP int) []float64 {
 	}
 	return out
 }
+
+// Duration is the simulator's time-span type (integer nanoseconds), used by
+// Config.Warmup/MeasureTime/MetricsWindow and the load-profile parameters.
+type Duration = sim.Duration
 
 // Seconds converts a float64 seconds value into the simulator's duration
 // type for configuring Warmup and MeasureTime.

@@ -85,6 +85,10 @@ type expOptions struct {
 	cmpA       Strategy
 	cmpB       Strategy
 	progress   func(Row)
+	profile    LoadProfile
+	profileSet bool
+	window     Duration
+	windowSet  bool
 }
 
 // Option configures an Experiment.
@@ -157,6 +161,26 @@ func WithCompare(a, b Strategy) Option {
 	return func(e *Experiment) { e.o.compareSet = true; e.o.cmpA, e.o.cmpB = a, b }
 }
 
+// WithProfile applies a non-stationary load profile to every simulated
+// point of the experiment, overriding the points' own Config.Profile. It
+// composes with every other option — the profile modulates each point's
+// arrival processes without touching its seed, so compared sweeps still
+// pair on common random numbers and a constant profile reproduces the
+// steady-state rows bit for bit. For sweeping *over* profiles, use a
+// ProfileAxis instead.
+func WithProfile(p LoadProfile) Option {
+	return func(e *Experiment) { e.o.profile = p; e.o.profileSet = true }
+}
+
+// WithMetricsWindow enables windowed transient metrics on every simulated
+// point: the measurement interval is sliced into width-wide windows, each
+// row's Results carries the per-window series plus peak-window response
+// time and recovery time, and WriteRowsCSV/WriteRowsJSON add the windowed
+// columns. Steady-state rows (width 0, the default) are unchanged.
+func WithMetricsWindow(width Duration) Option {
+	return func(e *Experiment) { e.o.window = width; e.o.windowSet = true }
+}
+
 // WithProgress streams every completed row to fn. Rows arrive in their
 // final deterministic order (a row is delivered as soon as it and all rows
 // before it are complete), from the goroutine Run was called on, so fn
@@ -218,6 +242,18 @@ func (e *Experiment) Run(ctx context.Context) ([]Row, error) {
 	return e.execute(ctx, jobs, slots, rows)
 }
 
+// applyOverrides rewrites one planned point's configuration with the
+// experiment-wide WithProfile/WithMetricsWindow overrides, before the
+// replication stage fans the point out into per-seed jobs.
+func (e *Experiment) applyOverrides(c *Config) {
+	if e.o.profileSet {
+		c.Profile = e.o.profile
+	}
+	if e.o.windowSet {
+		c.MetricsWindow = e.o.window
+	}
+}
+
 // expand resolves the source at the experiment's options and applies the
 // replication/comparison stages, producing the physical job schedule.
 func (e *Experiment) expand(seed int64) ([]runJob, []slot, []rowSpec, error) {
@@ -229,6 +265,9 @@ func (e *Experiment) expand(seed int64) ([]runJob, []slot, []rowSpec, error) {
 	p, err := e.src.plan(e.o.scale, e.o.scaleSet, seed)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	for i := range p.jobs {
+		e.applyOverrides(&p.jobs[i].cfg)
 	}
 	seeds := e.o.seeds
 	if seeds == nil {
@@ -285,6 +324,9 @@ func (e *Experiment) expandCompared(seed int64) ([]runJob, []slot, []rowSpec, er
 	pts, err := e.src.comparePlan(e.o.scale, e.o.scaleSet, seed)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	for i := range pts {
+		e.applyOverrides(&pts[i].cfg)
 	}
 	var (
 		label = e.src.label()

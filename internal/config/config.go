@@ -168,6 +168,18 @@ type Config struct {
 	CtrlSmoothing  float64      // EWMA weight of the newest CPU report
 	AdaptiveBump   bool         // LUC/LUM adaptive info adjustment
 
+	// Profile modulates arrival rates and redistribution skew over
+	// simulated time (see LoadProfile). The zero value is the constant
+	// profile — bit-identical to the steady-state behaviour.
+	Profile LoadProfile
+
+	// MetricsWindow > 0 slices the measurement interval into fixed-width
+	// windows, each reporting response-time mean/p95, throughput and
+	// CPU/disk/memory utilization (engine.Results.Windows), plus derived
+	// transient metrics (peak-window RT, recovery time). 0 disables
+	// windowed collection; steady-state results are unchanged either way.
+	MetricsWindow sim.Duration
+
 	// Simulation horizon.
 	Seed        int64
 	Warmup      sim.Duration
@@ -244,6 +256,15 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: redistribution skew %v outside [0,2]", c.RedistributionSkew)
 	case c.MeasureTime <= 0:
 		return fmt.Errorf("config: measure time %v <= 0", c.MeasureTime)
+	case c.MetricsWindow < 0:
+		return fmt.Errorf("config: metrics window %v < 0", c.MetricsWindow)
+	case c.MetricsWindow > 0 && c.MetricsWindow < sim.Millisecond:
+		// A sub-millisecond window would produce millions of near-empty
+		// windows per run; treat it as a unit confusion, not a request.
+		return fmt.Errorf("config: metrics window %v < 1ms", c.MetricsWindow)
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
 	}
 	for i, sc := range c.ScanClasses {
 		if sc.QPSPerPE <= 0 || sc.Selectivity <= 0 || sc.Selectivity > 1 {

@@ -150,6 +150,11 @@ type System struct {
 
 	ct costT // pre-converted constant cost segments of the hot loops
 
+	// profileConst caches cfg.Profile.IsConstant(): the arrival loops and
+	// initWeights branch on it so a constant profile keeps the exact
+	// steady-state code path (and its bit-identical event stream).
+	profileConst bool
+
 	nextSpace int64
 	nextTxn   lock.TxnID
 	nextQuery int64
@@ -177,6 +182,10 @@ type System struct {
 	joinsStarted int64
 	oltpStarted  int64
 	aborts       int64
+
+	// win collects fixed-width metric windows (nil unless
+	// cfg.MetricsWindow > 0; created at warm-up end).
+	win *windowState
 }
 
 // New builds a system for cfg with the given load-balancing strategy.
@@ -199,6 +208,8 @@ func New(cfg config.Config, strategy core.Strategy) (*System, error) {
 		detector: lock.NewDetector(k, sim.Second),
 		model:    costmodel.New(cfg),
 		ct:       newCostT(&cfg),
+
+		profileConst: cfg.Profile.IsConstant(),
 
 		joinRT:    stats.NewSample("join-rt-ms"),
 		oltpRT:    stats.NewSample("oltp-rt-ms"),
@@ -314,4 +325,7 @@ func (s *System) beginMeasurement() {
 	s.memWaitMS = stats.NewSample("mem-wait-ms")
 	s.joinsStarted = 0
 	s.oltpStarted = 0
+	if s.cfg.MetricsWindow > 0 {
+		s.win = newWindowState(s, s.cfg.MetricsWindow)
+	}
 }

@@ -39,9 +39,15 @@ type joinQuery struct {
 	weights []float64
 }
 
-// initWeights fills q.weights for a skewed configuration.
+// initWeights fills q.weights for a skewed configuration. Under a
+// non-constant load profile the skew is sampled at the query's placement
+// instant (profile time runs from the measurement start), so drifting or
+// flash-crowd skew applies to queries planned inside the hot interval.
 func (q *joinQuery) initWeights(deg int) {
 	z := q.s.cfg.RedistributionSkew
+	if !q.s.profileConst {
+		z = q.s.cfg.Profile.SkewAt(q.s.k.Now()-q.s.cfg.Warmup, z)
+	}
 	if z == 0 {
 		return
 	}
@@ -247,6 +253,9 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 	rt := s.k.Now() - arrival
 	if s.measuring {
 		s.joinRT.Add(rt.Milliseconds())
+		if s.win != nil {
+			s.win.addRT(rt.Milliseconds())
+		}
 	}
 	return rt
 }
@@ -417,6 +426,34 @@ func (q *joinQuery) broadcastJoin(p *sim.Proc, kind jmsgKind) {
 	}
 }
 
+// jmsgCursor drains a join-process mailbox in batches, handing out one
+// message at a time. Each phase loop runs until its end-of-phase marker
+// (jmsgAEOF/jmsgBEOF), so the mailbox must never close while a drain is
+// outstanding — a closed-and-drained mailbox here means the coordinator
+// tore the query down without completing the protocol, and is diagnosed
+// explicitly instead of surfacing as an index-out-of-range on the empty
+// batch GetAll returns after close.
+type jmsgCursor struct {
+	qid   int64
+	idx   int
+	mail  *sim.Chan[jmsg]
+	batch []jmsg
+	cur   int
+}
+
+func (c *jmsgCursor) next(p *sim.Proc) jmsg {
+	if c.cur == len(c.batch) {
+		batch, ok := c.mail.GetAll(p, c.batch[:0])
+		if !ok {
+			panic(fmt.Sprintf("engine: q%d/join%d mailbox closed mid-phase with no end-of-phase marker (protocol violation)", c.qid, c.idx))
+		}
+		c.batch, c.cur = batch, 0
+	}
+	m := c.batch[c.cur]
+	c.cur++
+	return m
+}
+
 // runJoinProc executes one join process: working-space acquisition (the
 // FCFS memory queue), PPHJ building/probing, deferred partition joins, and
 // result shipping.
@@ -465,17 +502,8 @@ func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
 	// unconsumed messages across the phase boundary — a drain behind
 	// jmsgAEOF may already hold the first probe packets, exactly the
 	// messages a single-Get loop would have left queued.
-	var batch []jmsg
-	cur := 0
-	next := func() jmsg {
-		if cur == len(batch) {
-			batch, _ = mail.GetAll(p, batch[:0])
-			cur = 0
-		}
-		m := batch[cur]
-		cur++
-		return m
-	}
+	mc := jmsgCursor{qid: q.id, idx: idx, mail: mail}
+	next := func() jmsg { return mc.next(p) }
 
 	// --- Building phase ---
 	for building := true; building; {

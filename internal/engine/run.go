@@ -52,7 +52,7 @@ func (s *System) startWorkload() {
 				s.runJoinQuery(qp, int(qp.Arg()), qp.Now())
 			}
 			for {
-				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
+				p.Wait(s.interarrival(rate))
 				s.k.SpawnArg("join-coord", int64(s.rng.Intn(c.NPE)), runQuery)
 			}
 		})
@@ -73,7 +73,7 @@ func (s *System) startWorkload() {
 				s.runScanQuery(qp, int(qp.Arg()), class, qp.Now())
 			}
 			for {
-				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / rate))
+				p.Wait(s.interarrival(rate))
 				s.k.SpawnArg("scanq-coord", int64(s.rng.Intn(c.NPE)), runQuery)
 			}
 		})
@@ -85,11 +85,27 @@ func (s *System) startWorkload() {
 				s.runOLTP(tp, pe, tp.Now())
 			}
 			for {
-				p.Wait(sim.FromSeconds(s.rng.ExpFloat64() / s.cfg.OLTP.TPSPerNode))
+				p.Wait(s.interarrival(s.cfg.OLTP.TPSPerNode))
 				s.k.Spawn("oltp-txn", runTxn)
 			}
 		})
 	}
+}
+
+// interarrival draws the next exponential interarrival delay of an open
+// arrival stream with the given base rate, modulated by the load profile at
+// the current instant (non-homogeneous Poisson by rate scaling: the
+// multiplier stretches or compresses the draw, so every arrival consumes
+// exactly one ExpFloat64 regardless of the profile and the rng consumption
+// order stays identical across profile shapes). With a constant profile the
+// expression reduces to the unmodulated draw, bit for bit. The single-user
+// closed loop has no arrival process and is unaffected by profiles.
+func (s *System) interarrival(rate float64) sim.Duration {
+	draw := s.rng.ExpFloat64()
+	if !s.profileConst {
+		rate *= s.cfg.Profile.RateMult(s.k.Now() - s.cfg.Warmup)
+	}
+	return sim.FromSeconds(draw / rate)
 }
 
 // oltpNodes returns the PEs running the OLTP workload.
@@ -167,6 +183,19 @@ type Results struct {
 	Deadlocks   int64   `json:"deadlocks"`
 	PsuOpt      int     `json:"psu_opt"`
 	PsuNoIO     int     `json:"psu_no_io"`
+
+	// Windowed transient metrics, present only when Config.MetricsWindow
+	// was set (nil/zero otherwise, so steady-state serialization is
+	// unchanged). Windows slices the measurement interval into
+	// WindowMS-wide pieces; PeakWindowRTMS is the largest per-window mean
+	// response time, and RecoveryMS the time from the peak window's end
+	// until the mean response time returns to within 10% of the pre-peak
+	// baseline (0 without a pre-peak baseline, −1 when it never recovers
+	// inside the horizon — see transientMetrics).
+	Windows        []Window `json:"windows,omitempty"`
+	WindowMS       float64  `json:"window_ms,omitempty"`
+	PeakWindowRTMS float64  `json:"peak_window_rt_ms,omitempty"`
+	RecoveryMS     float64  `json:"recovery_ms,omitempty"`
 }
 
 func (s *System) results() Results {
@@ -223,6 +252,11 @@ func (s *System) results() Results {
 		res.MemWaits += pe.buf.Waits()
 		res.MemSteals += pe.buf.Steals()
 		res.StolenPages += pe.buf.StolenPages()
+	}
+	if s.win != nil {
+		res.Windows = s.win.finish(s.k.Now())
+		res.WindowMS = s.win.width.Milliseconds()
+		res.PeakWindowRTMS, res.RecoveryMS = transientMetrics(res.Windows)
 	}
 	return res
 }

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"dynlb/internal/sim"
+	"dynlb/internal/stats"
+)
+
+// Window is one fixed-width slice of the measurement interval: the join
+// response-time distribution of the queries that *completed* inside it,
+// their throughput, and the mean CPU/disk/memory utilization across PEs
+// over exactly the slice. Start/End are relative to the measurement start,
+// matching LoadProfile time, so a burst configured at profile time t shows
+// up in the windows covering t.
+type Window struct {
+	StartMS  float64 `json:"start_ms"`
+	EndMS    float64 `json:"end_ms"`
+	Joins    int     `json:"joins"`      // join completions in the window
+	RTMeanMS float64 `json:"rt_mean_ms"` // mean join response time (0 if no completions)
+	RTP95MS  float64 `json:"rt_p95_ms"`
+	JoinTPS  float64 `json:"join_tps"`
+	CPUUtil  float64 `json:"cpu_util"`
+	DiskUtil float64 `json:"disk_util"`
+	MemUtil  float64 `json:"mem_util"`
+}
+
+// windowState drives windowed metric collection: a boundary event fires
+// every width, closing the current window against per-PE busy/used-integral
+// snapshots taken at its start. One scratch Sample is reused across all
+// windows (Reset per close), so the steady-state cost of collection is one
+// event per window plus one float append per join completion.
+type windowState struct {
+	s     *System
+	width sim.Duration
+	start sim.Time // current window start (absolute simulation time)
+	rt    *stats.Sample
+	cpu0  []float64
+	disk0 []float64
+	mem0  []float64
+	out   []Window
+}
+
+// newWindowState starts collection at the current instant (the measurement
+// start) and schedules the first boundary.
+func newWindowState(s *System, width sim.Duration) *windowState {
+	w := &windowState{
+		s:     s,
+		width: width,
+		start: s.k.Now(),
+		rt:    stats.NewSample("win-rt-ms"),
+		cpu0:  make([]float64, len(s.pes)),
+		disk0: make([]float64, len(s.pes)),
+		mem0:  make([]float64, len(s.pes)),
+	}
+	w.snapshot()
+	s.k.At(w.start+width, w.roll)
+	return w
+}
+
+// addRT records one join completion into the current window.
+func (w *windowState) addRT(ms float64) { w.rt.Add(ms) }
+
+// roll closes the window ending now and schedules the next boundary. The
+// kernel executes events exactly at the run horizon, so the final in-range
+// boundary always fires; the next one lands past the horizon and never
+// runs (Shutdown discards it).
+func (w *windowState) roll() {
+	w.close(w.s.k.Now())
+	w.s.k.At(w.s.k.Now()+w.width, w.roll)
+}
+
+// close seals [w.start, end) into a Window and re-bases the snapshots.
+func (w *windowState) close(end sim.Time) {
+	s := w.s
+	var cpu, dsk, mem float64
+	for i, pe := range s.pes {
+		cpu += pe.cpu.UtilizationSince(w.start, w.cpu0[i])
+		dsk += pe.disks.UtilizationSince(w.start, w.disk0[i])
+		mem += pe.buf.MeanUtilization(w.start, w.mem0[i])
+	}
+	n := float64(len(s.pes))
+	w.out = append(w.out, Window{
+		StartMS:  (w.start - s.measureFrom).Milliseconds(),
+		EndMS:    (end - s.measureFrom).Milliseconds(),
+		Joins:    w.rt.N(),
+		RTMeanMS: w.rt.Mean(),
+		RTP95MS:  w.rt.Percentile(95),
+		JoinTPS:  float64(w.rt.N()) / (end - w.start).Seconds(),
+		CPUUtil:  cpu / n,
+		DiskUtil: dsk / n,
+		MemUtil:  mem / n,
+	})
+	w.rt.Reset()
+	w.start = end
+	w.snapshot()
+}
+
+// snapshot re-bases the per-PE integral baselines at the current instant.
+func (w *windowState) snapshot() {
+	for i, pe := range w.s.pes {
+		w.cpu0[i] = pe.cpu.BusyIntegral()
+		w.disk0[i] = pe.disks.BusyIntegral()
+		w.mem0[i] = pe.buf.UsedIntegral()
+	}
+}
+
+// finish closes the trailing partial window (when the horizon is not a
+// multiple of the width) and returns the series. A boundary that fired
+// exactly at the horizon leaves a zero-width current window, which is
+// dropped — its utilization integral is empty and its throughput undefined.
+func (w *windowState) finish(now sim.Time) []Window {
+	if now > w.start {
+		w.close(now)
+	}
+	return w.out
+}
+
+// transientMetrics derives the burst-response summary from a window series.
+//
+// peakRT is the largest per-window mean response time over windows with at
+// least one completion. recoveryMS is the time from the end of the peak
+// window to the start of the first later window whose mean response time is
+// back within 10% of the pre-peak baseline — the completion-weighted mean
+// RT of the windows before the peak. Windows without completions carry no
+// response-time information and are skipped on both sides. Conventions:
+// recovery is 0 when the series has no completions at all or no pre-peak
+// baseline exists (the disturbance spans the whole run, so there is nothing
+// to recover to), and −1 when the system never returns to within 10% of
+// baseline inside the measured horizon.
+func transientMetrics(wins []Window) (peakRT, recoveryMS float64) {
+	peak := -1
+	for i, w := range wins {
+		if w.Joins > 0 && (peak < 0 || w.RTMeanMS > peakRT) {
+			peak, peakRT = i, w.RTMeanMS
+		}
+	}
+	if peak < 0 {
+		return 0, 0
+	}
+	var rtSum, joins float64
+	for _, w := range wins[:peak] {
+		rtSum += w.RTMeanMS * float64(w.Joins)
+		joins += float64(w.Joins)
+	}
+	if joins == 0 {
+		return peakRT, 0
+	}
+	base := rtSum / joins
+	for _, w := range wins[peak+1:] {
+		if w.Joins > 0 && w.RTMeanMS <= 1.1*base {
+			return peakRT, w.StartMS - wins[peak].EndMS
+		}
+	}
+	return peakRT, -1
+}

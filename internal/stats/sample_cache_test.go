@@ -1,0 +1,55 @@
+package stats
+
+import "testing"
+
+// TestPercentileCacheInvalidation: the cached sort must never serve a stale
+// order after an Add or survive a Reset — the regression would silently
+// skew every percentile read of a still-filling sample.
+func TestPercentileCacheInvalidation(t *testing.T) {
+	s := NewSample("c")
+	for _, v := range []float64{30, 10, 20} {
+		s.Add(v)
+	}
+	if got := s.Percentile(100); got != 30 {
+		t.Fatalf("p100 = %v, want 30", got)
+	}
+	// The cache is now warm; a larger max must displace it.
+	s.Add(40)
+	if got := s.Percentile(100); got != 40 {
+		t.Errorf("p100 after Add = %v, want 40 (stale sort served)", got)
+	}
+	if got := s.Percentile(50); got != 20 {
+		t.Errorf("p50 after Add = %v, want 20", got)
+	}
+
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Errorf("after Reset: n=%d mean=%v p50=%v, want zeros", s.N(), s.Mean(), s.Percentile(50))
+	}
+	s.Add(5)
+	s.Add(1)
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("p100 after Reset+Add = %v, want 5", got)
+	}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("mean after Reset+Add = %v, want 3", got)
+	}
+}
+
+// TestPercentileAllocs: percentile reads of a settled sample sort once and
+// then allocate nothing — the windowed metrics read mean and p95 from the
+// same scratch sample every window, so repeated reads must be free.
+func TestPercentileAllocs(t *testing.T) {
+	s := NewSample("a")
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i % 97))
+	}
+	s.Percentile(50) // warm the cache
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Percentile(95)
+		s.Percentile(50)
+	})
+	if allocs != 0 {
+		t.Errorf("Percentile on a settled sample allocates %v per run, want 0", allocs)
+	}
+}

@@ -14,8 +14,13 @@ import (
 type Sample struct {
 	name string
 	vals []float64
-	sum  float64
-	sum2 float64
+	// sorted caches an ordered copy of vals for percentile reads. vals is
+	// append-only between Resets and sorted is only ever written as a full
+	// copy, so "len(sorted) == len(vals)" is a valid freshness tag: any Add
+	// since the last sort changes len(vals) and invalidates the cache.
+	sorted []float64
+	sum    float64
+	sum2   float64
 }
 
 // NewSample creates an empty named sample.
@@ -29,6 +34,14 @@ func (s *Sample) Add(v float64) {
 	s.vals = append(s.vals, v)
 	s.sum += v
 	s.sum2 += v * v
+}
+
+// Reset empties the sample in place, keeping the backing arrays for reuse
+// (windowed metrics fill and drain one scratch sample per window).
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = s.sorted[:0]
+	s.sum, s.sum2 = 0, 0
 }
 
 // N returns the number of observations.
@@ -55,14 +68,15 @@ func (s *Sample) Stddev() float64 {
 	return math.Sqrt(v)
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank on
-// a sorted copy. Returns 0 if empty.
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// The sorted order is computed once per snapshot and cached until the next
+// Add, so reading several percentiles of a settled sample sorts (and
+// allocates) at most once. Returns 0 if empty.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.vals...)
-	sort.Float64s(sorted)
+	sorted := s.sortedVals()
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -74,6 +88,16 @@ func (s *Sample) Percentile(p float64) float64 {
 		rank = 0
 	}
 	return sorted[rank]
+}
+
+// sortedVals returns the cached ordered copy of vals, refreshing it if any
+// observation arrived since the last sort.
+func (s *Sample) sortedVals() []float64 {
+	if len(s.sorted) != len(s.vals) {
+		s.sorted = append(s.sorted[:0], s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
 }
 
 // Min returns the smallest observation (0 if empty).

@@ -136,6 +136,61 @@ func AggregateResults(runs []Results, conf float64) (Results, Replication) {
 	mean.OLTPAborts = meanI(func(r *Results) float64 { return float64(r.OLTPAborts) })
 	mean.Deadlocks = meanI(func(r *Results) float64 { return float64(r.Deadlocks) })
 
+	// Windowed metrics aggregate element-wise: replicates of one
+	// configuration share the window layout (same width, same horizon), so
+	// window k's metrics average across runs. The peak-window response time
+	// is the mean of the per-run peaks (each run peaks at its own window —
+	// averaging first would flatten the transient this metric exists to
+	// expose), and the recovery time averages over the runs that recovered,
+	// keeping −1 (never recovered) only when no run did. mean.Windows is
+	// rebuilt rather than aliased, so the aggregate never writes into
+	// runs[0]'s series.
+	if w0 := runs[0].Windows; len(w0) > 0 && sameWindowLayout(runs) {
+		wins := make([]Window, len(w0))
+		for k := range wins {
+			wk := Window{StartMS: w0[k].StartMS, EndMS: w0[k].EndMS}
+			var joins, rtm, rtp, tps, cpu, dsk, mem float64
+			for i := range runs {
+				w := runs[i].Windows[k]
+				joins += float64(w.Joins)
+				rtm += w.RTMeanMS
+				rtp += w.RTP95MS
+				tps += w.JoinTPS
+				cpu += w.CPUUtil
+				dsk += w.DiskUtil
+				mem += w.MemUtil
+			}
+			n := float64(len(runs))
+			wk.Joins = int(math.Round(joins / n))
+			wk.RTMeanMS, wk.RTP95MS, wk.JoinTPS = rtm/n, rtp/n, tps/n
+			wk.CPUUtil, wk.DiskUtil, wk.MemUtil = cpu/n, dsk/n, mem/n
+			wins[k] = wk
+		}
+		mean.Windows = wins
+		mean.PeakWindowRTMS = meanF(func(r *Results) float64 { return r.PeakWindowRTMS })
+		var recSum float64
+		recovered := 0
+		for i := range runs {
+			if rec := runs[i].RecoveryMS; rec >= 0 {
+				recSum += rec
+				recovered++
+			}
+		}
+		if recovered > 0 {
+			mean.RecoveryMS = recSum / float64(recovered)
+		} else {
+			mean.RecoveryMS = -1
+		}
+	} else {
+		// No windows, or (defensively) heterogeneous layouts that cannot
+		// aggregate element-wise: drop the series rather than alias runs[0].
+		mean.Windows = nil
+		mean.PeakWindowRTMS, mean.RecoveryMS = 0, 0
+		if len(w0) == 0 {
+			mean.WindowMS = 0
+		}
+	}
+
 	rep := Replication{Reps: len(runs), Conf: conf}
 	rep.JoinRTMS = agg(&mean.JoinRT.MeanMS, func(r *Results) float64 { return r.JoinRT.MeanMS })
 	rep.JoinTPS = agg(&mean.JoinTPS, func(r *Results) float64 { return r.JoinTPS })
@@ -148,6 +203,20 @@ func AggregateResults(runs []Results, conf float64) (Results, Replication) {
 	rep.TempIO = agg(&tempIO, func(r *Results) float64 { return float64(r.TempIOPages) })
 	mean.TempIOPages = int64(math.Round(tempIO))
 	return mean, rep
+}
+
+// sameWindowLayout reports whether every run carries the same window grid —
+// equal width and count. Replicates of one configuration always do (the
+// grid is a pure function of the config's windows); hand-assembled slices
+// may not, and element-wise averaging across different grids would be
+// meaningless.
+func sameWindowLayout(runs []Results) bool {
+	for i := 1; i < len(runs); i++ {
+		if len(runs[i].Windows) != len(runs[0].Windows) || runs[i].WindowMS != runs[0].WindowMS {
+			return false
+		}
+	}
+	return true
 }
 
 func checkConfidence(conf float64) error {

@@ -59,6 +59,24 @@ func NumAxis(name string, set func(*Config, float64), values ...float64) Axis {
 	return ax
 }
 
+// ProfileAxis builds an axis over load profiles, making non-stationary
+// workload shapes a sweep dimension like any other: value i applies
+// profiles[i] to the point's Config.Profile, contributes X = i as the
+// coordinate when the axis is first, and the profile's spec string
+// ("square:factor=4,period=2s,duty=0.5") as its series label otherwise.
+func ProfileAxis(name string, profiles ...LoadProfile) Axis {
+	ax := Axis{Name: name}
+	for i, p := range profiles {
+		p := p
+		ax.Values = append(ax.Values, AxisValue{
+			Label: name + "=" + p.String(),
+			X:     float64(i),
+			Set:   func(c *Config) { c.Profile = p },
+		})
+	}
+	return ax
+}
+
 // IntAxis is NumAxis over integer values.
 func IntAxis(name string, set func(*Config, int), values ...int) Axis {
 	ax := Axis{Name: name}
