@@ -1,0 +1,82 @@
+// Command dynlbd is the dynlb experiment service: a long-running
+// capacity-planning daemon that accepts experiment sweeps over HTTP/JSON,
+// multiplexes them over one shared bounded worker pool with round-robin
+// fairness and backpressure, streams rows over SSE in the library's
+// deterministic order, and serves resubmitted sweeps from an in-memory
+// result cache — byte-identical, zero simulations.
+//
+//	dynlbd -addr :8080 -workers 8 -queue 16 -cache 128
+//
+// Submit, stream, inspect, cancel:
+//
+//	curl -d '{"figure": "1c", "scale": "quick"}' localhost:8080/v1/experiments
+//	curl -N localhost:8080/v1/experiments/j1/rows        # SSE row stream
+//	curl localhost:8080/v1/experiments/j1/rows?format=csv
+//	curl localhost:8080/v1/experiments                   # list jobs
+//	curl -X DELETE localhost:8080/v1/experiments/j1      # cancel
+//
+// Rows are a pure function of the request document: whatever the pool's
+// load, the stream is bit-identical to running the same experiment through
+// cmd/experiments or the library (the CI `service` job enforces this with
+// cmp).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"dynlb/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "shared simulation worker pool size (<= 0 = NumCPU)")
+		queue   = flag.Int("queue", 16, "max concurrently admitted experiment jobs before 429 backpressure")
+		cache   = flag.Int("cache", 128, "result cache capacity in completed experiments (0 disables)")
+	)
+	flag.Parse()
+	if *cache < 0 {
+		fmt.Fprintf(os.Stderr, "-cache %d: want a non-negative integer\n", *cache)
+		return 2
+	}
+
+	sched := service.New(*workers, *queue, *cache)
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("dynlbd listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, sched.Workers(), *queue, *cache)
+
+	select {
+	case err := <-errc:
+		log.Printf("serve: %v", err)
+		sched.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	sched.Close()
+	return 0
+}

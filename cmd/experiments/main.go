@@ -45,54 +45,70 @@ import (
 func main() {
 	// All failure paths return through run so deferred cleanup — most
 	// importantly flushing the CPU profile trailer — still happens.
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() (code int) {
-	var (
-		fig      = flag.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
-		scale    = flag.String("scale", "normal", "simulation scale: quick, normal, full")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reps     = flag.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
-		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
-		compare  = flag.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
-		profile  = flag.String("profile", "", "load profile making the workload non-stationary, e.g. square:factor=4,period=2s,duty=0.5 (see dynlb.ParseProfile)")
-		window   = flag.String("window", "", "metrics window width (e.g. 1s): adds per-window transient metrics to every row")
-		outF     = flag.String("out", "", "also write rows to this file (see -format)")
-		format   = flag.String("format", "csv", "row file format for -out: csv or json")
-		csvF     = flag.String("csv", "", "deprecated alias for -out with -format csv")
-		progress = flag.Bool("progress", false, "stream every completed row to stderr as the sweep runs")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
-	)
-	flag.Parse()
+// errWriter latches the first write failure so a broken pipe or full disk
+// on the table output cannot end in exit code 0.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
 
-	var sc dynlb.Scale
-	switch *scale {
-	case "quick":
-		sc = dynlb.ScaleQuick
-	case "normal":
-		sc = dynlb.ScaleNormal
-	case "full":
-		sc = dynlb.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil // drop quietly; the latched error decides the exit code
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+func run(args []string, stdoutW, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate (1a 1b 1c 5 6 7 8 9a 9b, or all)")
+		scale    = fs.String("scale", "normal", "simulation scale: quick, normal, full")
+		seed     = fs.Int64("seed", 1, "random seed")
+		reps     = fs.Int("reps", 1, "replicates per sweep point (>= 2 adds confidence intervals)")
+		ci       = fs.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
+		compare  = fs.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
+		profile  = fs.String("profile", "", "load profile making the workload non-stationary, e.g. square:factor=4,period=2s,duty=0.5 (see dynlb.ParseProfile)")
+		window   = fs.String("window", "", "metrics window width (e.g. 1s): adds per-window transient metrics to every row")
+		outF     = fs.String("out", "", "also write rows to this file (see -format)")
+		format   = fs.String("format", "csv", "row file format for -out: csv or json")
+		csvF     = fs.String("csv", "", "deprecated alias for -out with -format csv")
+		progress = fs.Bool("progress", false, "stream every completed row to stderr as the sweep runs")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	stdout := &errWriter{w: stdoutW}
+
+	sc, err := dynlb.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *reps < 1 {
-		fmt.Fprintf(os.Stderr, "-reps %d < 1\n", *reps)
+		fmt.Fprintf(stderr, "-reps %d < 1\n", *reps)
 		return 2
 	}
 	if !(*ci > 0 && *ci < 1) {
-		fmt.Fprintf(os.Stderr, "-ci %v outside (0,1)\n", *ci)
+		fmt.Fprintf(stderr, "-ci %v outside (0,1)\n", *ci)
 		return 2
 	}
 	var loadProf dynlb.LoadProfile
 	if *profile != "" {
 		p, err := dynlb.ParseProfile(*profile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		loadProf = p
@@ -101,22 +117,22 @@ func run() (code int) {
 	if *window != "" {
 		d, err := time.ParseDuration(*window)
 		if err != nil || d <= 0 {
-			fmt.Fprintf(os.Stderr, "-window %q: want a positive duration like 1s or 500ms\n", *window)
+			fmt.Fprintf(stderr, "-window %q: want a positive duration like 1s or 500ms\n", *window)
 			return 2
 		}
 		winWidth = dynlb.Duration(d)
 	}
 	if *format != "csv" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "unknown -format %q (want csv or json)\n", *format)
+		fmt.Fprintf(stderr, "unknown -format %q (want csv or json)\n", *format)
 		return 2
 	}
 	if *csvF != "" {
 		if *outF != "" {
-			fmt.Fprintln(os.Stderr, "-csv is a deprecated alias for -out; give only one of them")
+			fmt.Fprintln(stderr, "-csv is a deprecated alias for -out; give only one of them")
 			return 2
 		}
 		if *format != "csv" {
-			fmt.Fprintln(os.Stderr, "-csv always writes CSV; use -out with -format json")
+			fmt.Fprintln(stderr, "-csv always writes CSV; use -out with -format json")
 			return 2
 		}
 		*outF = *csvF
@@ -125,12 +141,12 @@ func run() (code int) {
 	if *cpuProf != "" {
 		stop, err := prof.Start(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				fmt.Fprintln(stderr, "cpuprofile:", err)
 				if code == 0 {
 					code = 1
 				}
@@ -140,7 +156,7 @@ func run() (code int) {
 	if *memProf != "" {
 		defer func() {
 			if err := prof.WriteHeap(*memProf); err != nil {
-				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				fmt.Fprintln(stderr, "memprofile:", err)
 				if code == 0 {
 					code = 1
 				}
@@ -169,24 +185,24 @@ func run() (code int) {
 	if *compare != "" {
 		nameA, nameB, err := dynlb.SplitCompare(*compare)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		sa, err := dynlb.StrategyByName(nameA)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		sb, err := dynlb.StrategyByName(nameB)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		opts = append(opts, dynlb.WithCompare(sa, sb))
 	}
 	if *progress {
 		opts = append(opts, dynlb.WithProgress(func(r dynlb.Row) {
-			fmt.Fprintf(os.Stderr, "fig %s  %-38s %s=%-8g rt=%9.1fms\n",
+			fmt.Fprintf(stderr, "fig %s  %-38s %s=%-8g rt=%9.1fms\n",
 				r.Figure, r.Series, r.XLabel, r.X, r.JoinRTMS)
 		}))
 	}
@@ -206,11 +222,11 @@ func run() (code int) {
 		start := time.Now()
 		rows, err := dynlb.NewExperiment(dynlb.Figure(f), opts...).Run(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Print(dynlb.FormatRows(rows))
-		fmt.Printf("(figure %s: %d rows in %.1fs wall time)\n\n", f, len(rows), time.Since(start).Seconds())
+		fmt.Fprint(stdout, dynlb.FormatRows(rows))
+		fmt.Fprintf(stdout, "(figure %s: %d rows in %.1fs wall time)\n\n", f, len(rows), time.Since(start).Seconds())
 		all = append(all, rows...)
 	}
 
@@ -220,10 +236,14 @@ func run() (code int) {
 			write = dynlb.WriteRowsJSON
 		}
 		if err := writeRows(*outF, all, write); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Printf("wrote %d rows to %s (%s)\n", len(all), *outF, *format)
+		fmt.Fprintf(stdout, "wrote %d rows to %s (%s)\n", len(all), *outF, *format)
+	}
+	if stdout.err != nil {
+		fmt.Fprintln(stderr, "stdout:", stdout.err)
+		return 1
 	}
 	return 0
 }

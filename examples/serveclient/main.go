@@ -1,0 +1,217 @@
+// Serveclient drives the dynlbd experiment service over HTTP: it submits
+// an experiment document, streams the rows back over SSE in the library's
+// deterministic order, and optionally writes them to CSV —
+// byte-identical to running the same sweep through cmd/experiments,
+// because rows are a pure function of the request.
+//
+// With -url it talks to a running daemon (the CI `service` job uses it
+// this way to prove server ≡ library with cmp, and -expect-cached to
+// assert the resubmit is served from the result cache):
+//
+//	dynlbd -addr :8080 &
+//	serveclient -url http://localhost:8080 -fig 1c -scale quick -out rows.csv
+//	serveclient -url http://localhost:8080 -fig 1c -scale quick -expect-cached
+//
+// Without -url it self-hosts: the whole service stack — scheduler, worker
+// pool, SSE streaming, result cache — runs in-process on a loopback
+// listener, the same sweep is submitted twice, and the second submit must
+// come back from the cache with identical rows. That makes the example a
+// self-contained demonstration (and smoke test) of the dogfooding story:
+// the scheduler is itself a load balancer in front of the load-balancing
+// simulator.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"dynlb"
+	"dynlb/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url          = flag.String("url", "", "dynlbd base URL; empty self-hosts the service in-process")
+		fig          = flag.String("fig", "1c", "figure to submit (see dynlb.Figures)")
+		scale        = flag.String("scale", "quick", "simulation scale: quick, normal, full")
+		reps         = flag.Int("reps", 0, "replicates per sweep point (0 = option not sent)")
+		out          = flag.String("out", "", "write the streamed rows to this CSV file")
+		expectCached = flag.Bool("expect-cached", false, "fail unless the submit is served from the result cache")
+	)
+	flag.Parse()
+
+	req := &dynlb.ExperimentRequest{Figure: *fig, Scale: *scale, Reps: *reps}
+	base := *url
+	if base == "" {
+		// Self-hosted mode: boot the full service on a loopback listener.
+		sched := service.New(0, 4, 8)
+		defer sched.Close()
+		ts := httptest.NewServer(service.NewServer(sched))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("self-hosted dynlbd at %s\n", base)
+	}
+
+	st, rows, err := submitAndStream(base, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("job %s: %d rows, %d simulations executed, cached=%v\n",
+		st.ID, len(rows), st.Simulated, st.Cached)
+	if *expectCached && !st.Cached {
+		fmt.Fprintln(os.Stderr, "expected a cache hit, but the job was simulated")
+		return 1
+	}
+	if *out != "" {
+		if err := writeCSV(*out, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(rows), *out)
+	}
+
+	if *url == "" {
+		// Self-hosted demo: resubmit and require a byte-identical cache hit.
+		st2, rows2, err := submitAndStream(base, req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		var a, b bytes.Buffer
+		if err := dynlb.WriteRowsCSV(&a, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := dynlb.WriteRowsCSV(&b, rows2); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if !st2.Cached || st2.Simulated != 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+			fmt.Fprintf(os.Stderr, "resubmit was not a byte-identical cache hit (cached=%v simulated=%d)\n",
+				st2.Cached, st2.Simulated)
+			return 1
+		}
+		fmt.Printf("resubmit job %s: served from cache, 0 simulations, identical bytes\n", st2.ID)
+	}
+	return 0
+}
+
+// submitAndStream posts the request and collects the job's SSE row stream.
+func submitAndStream(base string, req *dynlb.ExperimentRequest) (service.Status, []dynlb.Row, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return service.Status{}, nil, err
+	}
+	resp, err := http.Post(base+"/v1/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.Status{}, nil, err
+	}
+	var st service.Status
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		dec.Decode(&e) //nolint:errcheck
+		resp.Body.Close()
+		return service.Status{}, nil, fmt.Errorf("submit: %s (%s)", resp.Status, e.Error)
+	}
+	if err := dec.Decode(&st); err != nil {
+		resp.Body.Close()
+		return service.Status{}, nil, fmt.Errorf("submit: decode status: %w", err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(fmt.Sprintf("%s/v1/experiments/%s/rows", base, st.ID))
+	if err != nil {
+		return st, nil, err
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return st, nil, fmt.Errorf("rows: %s", stream.Status)
+	}
+	rows, final, err := collectSSE(stream.Body)
+	if err != nil {
+		return st, nil, err
+	}
+	if final != nil {
+		st = *final
+	}
+	return st, rows, nil
+}
+
+// collectSSE parses an SSE stream into rows and the final status carried
+// by the done event.
+func collectSSE(r io.Reader) ([]dynlb.Row, *service.Status, error) {
+	var (
+		rows  []dynlb.Row
+		final *service.Status
+		event string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "row":
+				var row dynlb.Row
+				if err := json.Unmarshal([]byte(data), &row); err != nil {
+					return nil, nil, fmt.Errorf("decode row: %w", err)
+				}
+				rows = append(rows, row)
+			case "done":
+				var st service.Status
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return nil, nil, fmt.Errorf("decode done: %w", err)
+				}
+				final = &st
+			case "error":
+				var e struct {
+					Error string `json:"error"`
+				}
+				json.Unmarshal([]byte(data), &e) //nolint:errcheck
+				return nil, nil, fmt.Errorf("job failed: %s", e.Error)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if final == nil {
+		return nil, nil, fmt.Errorf("stream ended without a done event")
+	}
+	return rows, final, nil
+}
+
+// writeCSV writes rows through the library's CSV writer, surfacing close
+// errors so a truncated file never looks like success.
+func writeCSV(path string, rows []dynlb.Row) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return dynlb.WriteRowsCSV(f, rows)
+}

@@ -219,11 +219,36 @@ type slot struct {
 // returns ctx.Err without waiting for in-flight points (each simulated
 // point is indivisible and finishes in the background).
 func (e *Experiment) Run(ctx context.Context) ([]Row, error) {
-	if e.src == nil {
-		return nil, fmt.Errorf("dynlb: Experiment needs a point source (Figure or Sweep)")
-	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	p, err := e.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(ctx, p)
+}
+
+// Plan validates the experiment and compiles it into its executable
+// schedule: the physical simulation jobs (every sweep point expanded
+// through the replication/comparison stages) plus the slot and row
+// bookkeeping folding job outcomes back into Rows. Run drives a Plan on
+// its own worker pool; external schedulers (e.g. internal/service, which
+// multiplexes many experiments over one shared pool) drive it directly:
+//
+//	p, err := exp.Plan()
+//	rows, err := p.Start()            // rows with no simulation deps
+//	for i := 0; i < p.NumJobs(); i++ {
+//		go p.RunJob(i)                // concurrent-safe across distinct i
+//	}
+//	// as each job i finishes, from ONE goroutine (or under one lock):
+//	rows, err := p.Complete(i)        // newly completed rows, in order
+//
+// Rows are a pure function of the experiment: however jobs are scheduled,
+// Complete emits the same rows in the same deterministic order.
+func (e *Experiment) Plan() (*Plan, error) {
+	if e.src == nil {
+		return nil, fmt.Errorf("dynlb: Experiment needs a point source (Figure or Sweep)")
 	}
 	if err := checkConfidence(e.o.conf); err != nil {
 		return nil, err
@@ -239,7 +264,126 @@ func (e *Experiment) Run(ctx context.Context) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.execute(ctx, jobs, slots, rows)
+	p := &Plan{
+		exp:      e,
+		jobs:     jobs,
+		slots:    slots,
+		rows:     rows,
+		jobSlot:  make([]int, len(jobs)),
+		pending:  make([]int, len(slots)),
+		results:  make([]Results, len(jobs)),
+		outs:     make([]runOut, len(slots)),
+		slotDone: make([]bool, len(slots)),
+	}
+	for s, sl := range slots {
+		p.pending[s] = sl.n
+		for i := sl.first; i < sl.first+sl.n; i++ {
+			p.jobSlot[i] = s
+		}
+	}
+	return p, nil
+}
+
+// Plan is the compiled schedule of an Experiment: NumJobs physical
+// simulations whose completions fold into NumRows output rows. Build one
+// with (*Experiment).Plan.
+//
+// RunJob is safe to call concurrently for distinct job indices; Start and
+// Complete mutate the emission state and must be serialized by the caller
+// (one collector goroutine, or one mutex). A Plan is single-use: drive it
+// to completion once and build a fresh one to re-run the experiment.
+type Plan struct {
+	exp      *Experiment
+	jobs     []runJob
+	slots    []slot
+	rows     []rowSpec
+	jobSlot  []int
+	pending  []int
+	results  []Results
+	outs     []runOut
+	slotDone []bool
+	nextRow  int
+}
+
+// NumJobs is the number of physical simulation jobs of the plan (sweep
+// points after replication and comparison expansion).
+func (p *Plan) NumJobs() int { return len(p.jobs) }
+
+// NumRows is the number of output rows the fully executed plan emits.
+func (p *Plan) NumRows() int { return len(p.rows) }
+
+// RunJob simulates physical job i and records its results in the plan.
+// Each job runs an independent kernel and RNG, so distinct indices may run
+// concurrently on any number of workers without changing any row.
+func (p *Plan) RunJob(i int) error {
+	sys, err := engine.New(p.jobs[i].cfg, p.jobs[i].st)
+	if err != nil {
+		return err
+	}
+	p.results[i] = sys.Run()
+	return nil
+}
+
+// Start emits the rows with no simulation dependencies (e.g. Fig. 1a's
+// analytic curve). Call it once, before the first Complete.
+func (p *Plan) Start() ([]Row, error) { return p.emit() }
+
+// Complete records that RunJob(i) finished, folds any slot it completed
+// into its point outcome, and returns the rows that became emittable — in
+// their final deterministic order, so concatenating every batch reproduces
+// the full row slice however jobs were scheduled. Complete must not be
+// called concurrently (serialize it with Start and with itself).
+func (p *Plan) Complete(i int) ([]Row, error) {
+	s := p.jobSlot[i]
+	if p.pending[s]--; p.pending[s] > 0 {
+		return nil, nil
+	}
+	sl := p.slots[s]
+	runs := p.results[sl.first : sl.first+sl.n]
+	o, err := sl.finish(runs)
+	if err != nil {
+		return nil, err
+	}
+	if p.exp.o.keepRuns {
+		o.runs = append([]Results(nil), runs...)
+	}
+	p.outs[s] = o
+	p.slotDone[s] = true
+	return p.emit()
+}
+
+// Done reports whether every row has been emitted.
+func (p *Plan) Done() bool { return p.nextRow == len(p.rows) }
+
+// emit builds every row whose dependencies are complete, in row order, so
+// the stream of emitted rows is a deterministic prefix of the final row
+// slice.
+func (p *Plan) emit() ([]Row, error) {
+	var batch []Row
+	for p.nextRow < len(p.rows) {
+		rs := &p.rows[p.nextRow]
+		for _, d := range rs.deps {
+			if !p.slotDone[d] {
+				return batch, nil
+			}
+		}
+		depOuts := make([]runOut, len(rs.deps))
+		for k, d := range rs.deps {
+			depOuts[k] = p.outs[d]
+		}
+		r, err := rs.build(depOuts)
+		if err != nil {
+			return nil, err
+		}
+		if p.exp.o.keepRuns && len(depOuts) > 0 {
+			// The row's own point is its last dependency (earlier deps are
+			// references like Fig. 8's improvement baseline).
+			r.Runs = depOuts[len(depOuts)-1].runs
+		}
+		batch = append(batch, r)
+		p.nextRow++
+	}
+	return batch, nil
 }
 
 // applyOverrides rewrites one planned point's configuration with the
@@ -383,14 +527,14 @@ func (e *Experiment) expandCompared(seed int64) ([]runJob, []slot, []rowSpec, er
 	return jobs, slots, rows, nil
 }
 
-// execute runs the physical jobs on the worker pool, folds completed slots
-// into point outcomes, and emits rows in order as their dependencies
-// complete. Workers claim jobs from an atomic counter and report
-// completions over a buffered channel, so abandoning the sweep (ctx
+// execute drives the plan on the experiment's own worker pool, folding
+// completed slots into point outcomes and streaming rows in order as their
+// dependencies complete. Workers claim jobs from an atomic counter and
+// report completions over a buffered channel, so abandoning the sweep (ctx
 // cancelled, job error) never blocks an in-flight worker.
-func (e *Experiment) execute(ctx context.Context, jobs []runJob, slots []slot, rows []rowSpec) ([]Row, error) {
-	// A cancelled context delivers nothing: without this gate the initial
-	// emit below would stream dependency-free rows (e.g. Fig. 1a's analytic
+func (e *Experiment) execute(ctx context.Context, p *Plan) ([]Row, error) {
+	// A cancelled context delivers nothing: without this gate the Start
+	// below would stream dependency-free rows (e.g. Fig. 1a's analytic
 	// curve) that the nil return then disowns.
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -399,87 +543,51 @@ func (e *Experiment) execute(ctx context.Context, jobs []runJob, slots []slot, r
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	// Map each physical job to its slot and count outstanding jobs per slot.
-	jobSlot := make([]int, len(jobs))
-	pending := make([]int, len(slots))
-	for s, sl := range slots {
-		pending[s] = sl.n
-		for i := sl.first; i < sl.first+sl.n; i++ {
-			jobSlot[i] = s
-		}
+	if workers > p.NumJobs() {
+		workers = p.NumJobs()
 	}
 
 	var (
-		results  = make([]Results, len(jobs))
-		done     = make(chan int, len(jobs))
-		failed   = make(chan error, workers+1)
-		next     atomic.Int64
-		stop     atomic.Bool
-		slotDone = make([]bool, len(slots))
-		outs     = make([]runOut, len(slots))
-		out      = make([]Row, 0, len(rows))
-		nextRow  = 0
+		done   = make(chan int, p.NumJobs())
+		failed = make(chan error, workers+1)
+		next   atomic.Int64
+		stop   atomic.Bool
+		out    = make([]Row, 0, p.NumRows())
 	)
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for {
 				i := int(next.Add(1))
-				if i >= len(jobs) || stop.Load() || ctx.Err() != nil {
+				if i >= p.NumJobs() || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				sys, err := engine.New(jobs[i].cfg, jobs[i].st)
-				if err != nil {
+				if err := p.RunJob(i); err != nil {
 					stop.Store(true)
 					failed <- err
 					return
 				}
-				results[i] = sys.Run()
 				done <- i
 			}
 		}()
 	}
-	// emit builds and streams every row whose dependencies are complete, in
-	// row order, so the progress stream is a deterministic prefix of the
-	// final row slice.
-	emit := func() error {
-		for nextRow < len(rows) {
-			rs := &rows[nextRow]
-			for _, d := range rs.deps {
-				if !slotDone[d] {
-					return nil
-				}
-			}
-			depOuts := make([]runOut, len(rs.deps))
-			for k, d := range rs.deps {
-				depOuts[k] = outs[d]
-			}
-			r, err := rs.build(depOuts)
-			if err != nil {
-				return err
-			}
-			if e.o.keepRuns && len(depOuts) > 0 {
-				// The row's own point is its last dependency (earlier deps are
-				// references like Fig. 8's improvement baseline).
-				r.Runs = depOuts[len(depOuts)-1].runs
-			}
+	// deliver appends a completed batch and streams it to WithProgress, so
+	// the progress stream is a deterministic prefix of the final row slice.
+	deliver := func(rows []Row) {
+		for _, r := range rows {
 			out = append(out, r)
 			if e.o.progress != nil {
 				e.o.progress(r)
 			}
-			nextRow++
 		}
-		return nil
 	}
-	if err := emit(); err != nil { // rows with no simulation deps
+	first, err := p.Start() // rows with no simulation deps
+	if err != nil {
 		stop.Store(true)
 		return nil, err
 	}
-	for completed := 0; completed < len(jobs); {
+	deliver(first)
+	for completed := 0; completed < p.NumJobs(); {
 		// Re-check cancellation first: when both a completion and Done are
 		// ready, select picks randomly, and a cancelled sweep must not keep
 		// draining completions.
@@ -495,26 +603,12 @@ func (e *Experiment) execute(ctx context.Context, jobs []runJob, slots []slot, r
 			return nil, err
 		case i := <-done:
 			completed++
-			s := jobSlot[i]
-			if pending[s]--; pending[s] > 0 {
-				continue
-			}
-			sl := slots[s]
-			runs := results[sl.first : sl.first+sl.n]
-			o, err := sl.finish(runs)
+			rows, err := p.Complete(i)
 			if err != nil {
 				stop.Store(true)
 				return nil, err
 			}
-			if e.o.keepRuns {
-				o.runs = append([]Results(nil), runs...)
-			}
-			outs[s] = o
-			slotDone[s] = true
-			if err := emit(); err != nil {
-				stop.Store(true)
-				return nil, err
-			}
+			deliver(rows)
 		}
 	}
 	return out, nil

@@ -372,3 +372,48 @@ func TestExperimentJobError(t *testing.T) {
 		t.Fatal("invalid point config accepted")
 	}
 }
+
+// TestPlanOutOfOrderCompletionMatchesRun: the exported Plan hooks are
+// schedule-independent — running jobs in reverse and completing them in
+// reverse order emits exactly Run's rows, in the same order, across the
+// concatenated Complete batches. This is the contract the dynlbd scheduler
+// (internal/service) builds on when it interleaves many experiments over
+// one shared pool.
+func TestPlanOutOfOrderCompletionMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	exp := func() *Experiment { return NewExperiment(tinySweep(), WithReps(2)) }
+	want, err := exp().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := exp().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRows() != len(want) {
+		t.Fatalf("NumRows %d, want %d", p.NumRows(), len(want))
+	}
+	got, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := p.NumJobs() - 1; i >= 0; i-- {
+		if err := p.RunJob(i); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := p.Complete(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rows...)
+	}
+	if !p.Done() {
+		t.Fatal("plan not done after completing every job")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("out-of-order plan rows differ from Run rows:\n got %+v\nwant %+v", got, want)
+	}
+}

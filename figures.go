@@ -35,6 +35,22 @@ func (s Scale) String() string {
 	}
 }
 
+// ParseScale parses a scale name ("quick", "normal", "full") as produced
+// by Scale.String — the -scale flag syntax of the commands and the "scale"
+// field of an ExperimentRequest.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return ScaleQuick, nil
+	case "normal":
+		return ScaleNormal, nil
+	case "full":
+		return ScaleFull, nil
+	default:
+		return 0, fmt.Errorf("dynlb: unknown scale %q (want quick, normal or full)", s)
+	}
+}
+
 // windows returns warm-up and measurement durations.
 func (s Scale) windows() (warmup, measure sim.Duration) {
 	switch s {

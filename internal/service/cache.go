@@ -1,0 +1,69 @@
+package service
+
+import (
+	"sync"
+
+	"dynlb"
+)
+
+// Cache is the in-memory result cache of the experiment service, keyed on
+// the canonicalized request (ExperimentRequest.CacheKey: full effective
+// config + seed, parallelism excluded). Because rows are a pure function
+// of the canonical request, a hit can be served byte-identically without
+// re-running a single simulation. Cached row slices are shared and must be
+// treated as immutable by every reader.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]dynlb.Row
+	order   []string // insertion order; evicted oldest-first
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns a cache holding at most max completed experiments
+// (max <= 0 disables caching).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, entries: make(map[string][]dynlb.Row)}
+}
+
+// Get returns the cached rows for key, if present.
+func (c *Cache) Get(key string) ([]dynlb.Row, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rows, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rows, ok
+}
+
+// Put stores the rows of a completed experiment, evicting the oldest entry
+// when full. The cache takes ownership of rows; callers must not mutate
+// the slice afterwards.
+func (c *Cache) Put(key string, rows []dynlb.Row) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = rows
+	c.order = append(c.order, key)
+}
+
+// Stats reports entry count and hit/miss totals (for /healthz and tests).
+func (c *Cache) Stats() (entries int, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses
+}
