@@ -47,10 +47,15 @@ func run() int {
 		workers = flag.Int("workers", runtime.NumCPU(), "shared simulation worker pool size (<= 0 = NumCPU)")
 		queue   = flag.Int("queue", 16, "max concurrently admitted experiment jobs before 429 backpressure")
 		cache   = flag.Int("cache", 128, "result cache capacity in completed experiments (0 disables)")
+		grace   = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight HTTP requests")
 	)
 	flag.Parse()
 	if *cache < 0 {
 		fmt.Fprintf(os.Stderr, "-cache %d: want a non-negative integer\n", *cache)
+		return 2
+	}
+	if *grace <= 0 {
+		fmt.Fprintf(os.Stderr, "-grace %v: want a positive duration like 5s\n", *grace)
 		return 2
 	}
 
@@ -72,7 +77,7 @@ func run() int {
 	case <-ctx.Done():
 	}
 	log.Printf("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)

@@ -52,6 +52,7 @@ func run() (code int) {
 		ci       = flag.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		compare  = flag.String("compare", "", "compare two strategies A,B on this configuration (paired replicate seeds; overrides -strategy)")
 		profile  = flag.String("profile", "", "load profile making the workload non-stationary, e.g. flash:start=5s,duration=5s,factor=4 (see dynlb.ParseProfile)")
+		faults   = flag.String("faults", "", "fault plan injecting failures, e.g. crash(pe=3,at=10s,down=5s) (see dynlb.ParseFaults)")
 		window   = flag.String("window", "", "metrics window width (e.g. 1s): report adds a per-window transient table")
 		list     = flag.Bool("list", false, "list built-in strategies and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,6 +99,14 @@ func run() (code int) {
 			return 2
 		}
 		cfg.Profile = p
+	}
+	if *faults != "" {
+		fp, err := dynlb.ParseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cfg.Faults = fp
 	}
 	if *window != "" {
 		d, err := time.ParseDuration(*window)
@@ -163,6 +172,9 @@ func run() (code int) {
 	if !cfg.Profile.IsConstant() {
 		fmt.Printf("profile:  %s\n", cfg.Profile.String())
 	}
+	if !cfg.Faults.IsEmpty() {
+		fmt.Printf("faults:   %s\n", cfg.Faults.String())
+	}
 
 	// One configuration = a single-point sweep; -reps plugs in replication.
 	rows, err := dynlb.NewExperiment(
@@ -197,6 +209,10 @@ func run() (code int) {
 	if res.Deadlocks > 0 {
 		fmt.Printf("deadlocks:      %d transactions aborted\n", res.Deadlocks)
 	}
+	if res.FaultSpec != "" {
+		fmt.Printf("faults:         %d aborts, %d retries, availability %.4f\n",
+			res.Aborts, res.Retries, res.Availability)
+	}
 	if len(res.Windows) > 0 {
 		printWindows(res)
 	}
@@ -214,13 +230,22 @@ func run() (code int) {
 // window plus the derived peak and recovery summary. With -reps >= 2 the
 // window metrics are across-replicate means on the shared window grid.
 func printWindows(res dynlb.Results) {
+	faulted := res.FaultSpec != ""
 	fmt.Printf("\nwindows:        %d x %.0f ms\n", len(res.Windows), res.WindowMS)
-	fmt.Printf("  %8s %8s %6s %9s %9s %7s %6s %6s %6s\n",
+	fmt.Printf("  %8s %8s %6s %9s %9s %7s %6s %6s %6s",
 		"start_ms", "end_ms", "joins", "rt_ms", "p95_ms", "tps", "cpu%", "disk%", "mem%")
+	if faulted {
+		fmt.Printf(" %6s %6s", "aborts", "avail")
+	}
+	fmt.Println()
 	for _, w := range res.Windows {
-		fmt.Printf("  %8.0f %8.0f %6d %9.1f %9.1f %7.2f %6.1f %6.1f %6.1f\n",
+		fmt.Printf("  %8.0f %8.0f %6d %9.1f %9.1f %7.2f %6.1f %6.1f %6.1f",
 			w.StartMS, w.EndMS, w.Joins, w.RTMeanMS, w.RTP95MS, w.JoinTPS,
 			100*w.CPUUtil, 100*w.DiskUtil, 100*w.MemUtil)
+		if faulted {
+			fmt.Printf(" %6d %6.3f", w.Aborts, w.Availability)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("transient:      peak window rt %.1f ms", res.PeakWindowRTMS)
 	if res.RecoveryMS < 0 {

@@ -77,6 +77,7 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 		ci       = fs.Float64("ci", 0.95, "confidence level of replicate intervals, in (0,1)")
 		compare  = fs.String("compare", "", "compare two strategies A,B head to head on the figure's workload sweep (paired replicate seeds)")
 		profile  = fs.String("profile", "", "load profile making the workload non-stationary, e.g. square:factor=4,period=2s,duty=0.5 (see dynlb.ParseProfile)")
+		faults   = fs.String("faults", "", "fault plan injecting failures, e.g. crash(pe=3,at=20s,down=10s) (see dynlb.ParseFaults)")
 		window   = fs.String("window", "", "metrics window width (e.g. 1s): adds per-window transient metrics to every row")
 		outF     = fs.String("out", "", "also write rows to this file (see -format)")
 		format   = fs.String("format", "csv", "row file format for -out: csv or json")
@@ -112,6 +113,15 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 			return 2
 		}
 		loadProf = p
+	}
+	var faultPlan dynlb.FaultPlan
+	if *faults != "" {
+		fp, err := dynlb.ParseFaults(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		faultPlan = fp
 	}
 	var winWidth dynlb.Duration
 	if *window != "" {
@@ -178,6 +188,9 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 	}
 	if *profile != "" {
 		opts = append(opts, dynlb.WithProfile(loadProf))
+	}
+	if !faultPlan.IsEmpty() {
+		opts = append(opts, dynlb.WithFaults(faultPlan))
 	}
 	if winWidth > 0 {
 		opts = append(opts, dynlb.WithMetricsWindow(winWidth))

@@ -25,8 +25,13 @@ import (
 // window count and width, the derived peak-window response time and
 // recovery time, and the per-window series (response-time mean/p95,
 // throughput, CPU/disk/memory utilization) packed as semicolon-separated
-// values in window order. Unreplicated, uncompared, unwindowed output is
-// unchanged, so goldens locked at reps=1 stay valid.
+// values in window order. When any row carries fault-injection metrics
+// (Results.FaultSpec from a Config.Faults/WithFaults run), fault columns
+// follow: the plan spec, abort/retry counts and availability, plus the
+// per-window abort and availability series (packed like the other window
+// series) when the rows are also windowed. Unreplicated, uncompared,
+// unwindowed, fault-free output is unchanged, so goldens locked at reps=1
+// stay valid.
 func WriteRowsCSV(out io.Writer, rows []Row) error {
 	w := csv.NewWriter(out)
 
@@ -34,6 +39,7 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 	replicated := false
 	compared := false
 	windowed := false
+	faulted := false
 	for _, r := range rows {
 		for k := range r.Extra {
 			keys[k] = true
@@ -46,6 +52,9 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 		}
 		if len(r.Res.Windows) > 0 {
 			windowed = true
+		}
+		if r.Res.FaultSpec != "" {
+			faulted = true
 		}
 	}
 	extras := make([]string, 0, len(keys))
@@ -69,6 +78,12 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 		header = append(header,
 			"windows", "window_ms", "peak_win_rt_ms", "recovery_ms",
 			"win_rt_mean_ms", "win_rt_p95_ms", "win_tps", "win_cpu", "win_disk", "win_mem")
+	}
+	if faulted {
+		header = append(header, "faults", "aborts", "retries", "availability")
+		if windowed {
+			header = append(header, "win_aborts", "win_avail")
+		}
 	}
 	if err := w.Write(header); err != nil {
 		return err
@@ -142,6 +157,28 @@ func WriteRowsCSV(out io.Writer, rows []Row) error {
 					packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.DiskUtil }),
 					packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.MemUtil }),
 				)
+			}
+		}
+		if faulted {
+			if r.Res.FaultSpec == "" {
+				// Fault-free row in a faulted sweep (e.g. a FaultAxis "none").
+				rec = append(rec, "", "", "", "")
+				if windowed {
+					rec = append(rec, "", "")
+				}
+			} else {
+				rec = append(rec,
+					r.Res.FaultSpec,
+					strconv.FormatInt(r.Res.Aborts, 10),
+					strconv.FormatInt(r.Res.Retries, 10),
+					strconv.FormatFloat(r.Res.Availability, 'f', 4, 64),
+				)
+				if windowed {
+					rec = append(rec,
+						packWindows(r.Res.Windows, 0, func(w Window) float64 { return float64(w.Aborts) }),
+						packWindows(r.Res.Windows, 4, func(w Window) float64 { return w.Availability }),
+					)
+				}
 			}
 		}
 		if err := w.Write(rec); err != nil {

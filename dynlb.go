@@ -162,6 +162,52 @@ func FlashCrowd(start, duration sim.Duration, factor, hotSkew float64) LoadProfi
 // the full grammar).
 func ParseProfile(spec string) (LoadProfile, error) { return config.ParseProfile(spec) }
 
+// FaultPlan schedules deterministic failures — PE crashes, disk slowdowns,
+// CPU stragglers — at simulated times (see Config.Faults and WithFaults).
+// Build one from the constructors below or parse a -faults flag spec with
+// ParseFaults; the zero value injects nothing and keeps the fault-free code
+// path bit-identical.
+type FaultPlan = config.FaultPlan
+
+// Fault is one scheduled failure of a FaultPlan.
+type Fault = config.Fault
+
+// FaultKind selects what a Fault breaks.
+type FaultKind = config.FaultKind
+
+// Fault kinds.
+const (
+	FaultCrash     = config.FaultCrash
+	FaultSlowDisk  = config.FaultSlowDisk
+	FaultStraggler = config.FaultStraggler
+)
+
+// Crash returns a fault taking pe offline at time at (measured from the
+// measurement start, like LoadProfile time) and recovering it after down
+// (0 = never recovers).
+func Crash(pe int, at, down Duration) Fault { return config.Crash(pe, at, down) }
+
+// SlowDisk returns a fault stretching pe's disk service times by factor for
+// dur (0 = until the end of the run), starting at time at.
+func SlowDisk(pe int, at, dur Duration, factor float64) Fault {
+	return config.SlowDisk(pe, at, dur, factor)
+}
+
+// Straggler returns a fault stretching pe's CPU costs by factor for dur
+// (0 = until the end of the run), starting at time at.
+func Straggler(pe int, at, dur Duration, factor float64) Fault {
+	return config.Straggler(pe, at, dur, factor)
+}
+
+// ParseFault parses one fault spec in the commands' -faults syntax, e.g.
+// "crash(pe=3,at=20s,down=10s)" (see config.ParseFault for the grammar).
+func ParseFault(spec string) (Fault, error) { return config.ParseFault(spec) }
+
+// ParseFaults parses a semicolon-separated fault plan, e.g.
+// "crash(pe=3,at=20s,down=10s);slowdisk(pe=2,at=15s,for=20s,factor=4)".
+// Empty and "none" return the empty plan.
+func ParseFaults(spec string) (FaultPlan, error) { return config.ParseFaults(spec) }
+
 // DefaultConfig returns the paper's Fig. 4 parameter settings (80 PEs,
 // 20 MIPS CPUs, 50-page buffers, 10 disks/PE, 1% scan selectivity,
 // single-user join workload, no OLTP).

@@ -1,0 +1,95 @@
+// Failure injection: a PE crashes mid-measurement and recovers, and the
+// windowed metrics show which strategy survives it. The same fault — PE 3
+// offline for four seconds — runs under the failure-blind static baseline
+// (degree fixed at planning time, random placement) and the failure-aware
+// integrated dynamic strategy (OPT-IO-CPU), paired on identical seeds. The
+// static selection keeps routing join work to the dead PE, so its attempts
+// abort and retry with backoff; the dynamic strategy reads the control
+// node's health view and sheds the dead PE, keeping availability high and
+// recovering its response time as soon as the PE returns.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dynlb"
+)
+
+func main() {
+	cfg := dynlb.DefaultConfig()
+	cfg.NPE = 20
+	cfg.JoinQPSPerPE = 0.3
+	cfg.Warmup = dynlb.Seconds(2)
+	cfg.MeasureTime = dynlb.Seconds(16)
+	cfg.MetricsWindow = dynlb.Seconds(2)
+	// Crash-and-recover: PE 3 goes down 4s into the measurement and comes
+	// back at 8s. Fault times align with the windows, so the dip and the
+	// recovery land in predictable rows of the table below.
+	faults, err := dynlb.ParseFaults("crash(pe=3,at=4s,down=4s)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Faults = faults
+
+	static := dynlb.MustStrategy("psu-opt+RANDOM")
+	dynamic := dynlb.MustStrategy("OPT-IO-CPU")
+
+	rows, err := dynlb.NewExperiment(
+		dynlb.Sweep{Name: "failover", Base: cfg},
+		dynlb.WithCompare(static, dynamic),
+		dynlb.WithReps(3),
+		dynlb.WithRuns(), // keep per-replicate Results: each side's windows
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := rows[0]
+
+	// The raw runs interleave {A, B} per replicate seed; aggregate each side
+	// separately so both window series are across-replicate means.
+	var runsA, runsB []dynlb.Results
+	for i, r := range row.Runs {
+		if i%2 == 0 {
+			runsA = append(runsA, r)
+		} else {
+			runsB = append(runsB, r)
+		}
+	}
+	meanA, _ := dynlb.AggregateResults(runsA, dynlb.DefaultConfidence)
+	meanB, _ := dynlb.AggregateResults(runsB, dynlb.DefaultConfidence)
+
+	fmt.Printf("fault %s on %d PEs, %d paired replicates, %d windows of %.0f ms:\n\n",
+		cfg.Faults.String(), cfg.NPE, len(runsA), len(meanA.Windows), meanA.WindowMS)
+	fmt.Printf("%10s   %22s   %22s\n", "", meanA.Strategy, meanB.Strategy)
+	fmt.Printf("%10s   %12s %9s   %12s %9s\n", "window", "rt", "avail", "rt", "avail")
+	for k := range meanA.Windows {
+		wa, wb := meanA.Windows[k], meanB.Windows[k]
+		down := " "
+		if wa.StartMS >= 4000 && wa.StartMS < 8000 {
+			down = "x" // PE 3 is offline in this window
+		}
+		fmt.Printf("%7.0f ms %s %10.1f ms %9.3f   %10.1f ms %9.3f\n",
+			wa.EndMS, down, wa.RTMeanMS, wa.Availability, wb.RTMeanMS, wb.Availability)
+	}
+
+	report := func(name string, r dynlb.Results) {
+		fmt.Printf("%-16s %3d aborts, %3d retries, availability %.4f, peak rt %8.1f ms, ",
+			name, r.Aborts, r.Retries, r.Availability, r.PeakWindowRTMS)
+		if r.RecoveryMS < 0 {
+			fmt.Println("never back within 10% of pre-crash rt")
+		} else {
+			fmt.Printf("recovered in %.0f ms\n", r.RecoveryMS)
+		}
+	}
+	fmt.Println()
+	report(meanA.Strategy+":", meanA)
+	report(meanB.Strategy+":", meanB)
+
+	p := *row.Cmp
+	fmt.Printf("\nwhole-run rt:  %.1f ms -> %.1f ms (improv %.1f%% ±%.1f%%) — the dynamic\n",
+		p.JoinRTMS.A, p.JoinRTMS.B, p.JoinRTMS.Improv.Mean, p.JoinRTMS.Improv.HW)
+	fmt.Println("strategy reads the health view and routes around the dead PE; the static")
+	fmt.Println("baseline keeps hitting it and pays in aborted work and availability.")
+}

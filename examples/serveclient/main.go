@@ -47,12 +47,13 @@ func run() int {
 		fig          = flag.String("fig", "1c", "figure to submit (see dynlb.Figures)")
 		scale        = flag.String("scale", "quick", "simulation scale: quick, normal, full")
 		reps         = flag.Int("reps", 0, "replicates per sweep point (0 = option not sent)")
+		faults       = flag.String("faults", "", "fault-plan spec to inject, e.g. crash(pe=3,at=20s,down=10s)")
 		out          = flag.String("out", "", "write the streamed rows to this CSV file")
 		expectCached = flag.Bool("expect-cached", false, "fail unless the submit is served from the result cache")
 	)
 	flag.Parse()
 
-	req := &dynlb.ExperimentRequest{Figure: *fig, Scale: *scale, Reps: *reps}
+	req := &dynlb.ExperimentRequest{Figure: *fig, Scale: *scale, Reps: *reps, Faults: *faults}
 	base := *url
 	if base == "" {
 		// Self-hosted mode: boot the full service on a loopback listener.

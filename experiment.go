@@ -89,6 +89,8 @@ type expOptions struct {
 	profileSet bool
 	window     Duration
 	windowSet  bool
+	faults     FaultPlan
+	faultsSet  bool
 }
 
 // Option configures an Experiment.
@@ -170,6 +172,16 @@ func WithCompare(a, b Strategy) Option {
 // ProfileAxis instead.
 func WithProfile(p LoadProfile) Option {
 	return func(e *Experiment) { e.o.profile = p; e.o.profileSet = true }
+}
+
+// WithFaults injects a fault plan into every simulated point of the
+// experiment, overriding the points' own Config.Faults. Faults are
+// scheduled simulation events, so they compose with every other option:
+// compared sweeps still pair on common random numbers, each point replays
+// bit-identically per seed, and the empty plan reproduces the fault-free
+// rows bit for bit. For sweeping *over* fault plans, use a FaultAxis.
+func WithFaults(fp FaultPlan) Option {
+	return func(e *Experiment) { e.o.faults = fp; e.o.faultsSet = true }
 }
 
 // WithMetricsWindow enables windowed transient metrics on every simulated
@@ -395,6 +407,9 @@ func (e *Experiment) applyOverrides(c *Config) {
 	}
 	if e.o.windowSet {
 		c.MetricsWindow = e.o.window
+	}
+	if e.o.faultsSet {
+		c.Faults = e.o.faults
 	}
 }
 

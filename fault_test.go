@@ -1,0 +1,121 @@
+package dynlb
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// crashPlan is the canonical test fault: PE 3 crashes 2 s into the
+// measurement and recovers 3 s later.
+func crashPlan(t *testing.T) FaultPlan {
+	t.Helper()
+	fp, err := ParseFaults("crash(pe=3,at=2s,down=3s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// faultSweep crosses a FaultAxis (fault-free vs crash) with a static and a
+// dynamic strategy — the failover comparison as a plain sweep.
+func faultSweep(t *testing.T) Sweep {
+	cfg := tinySweepCfg()
+	cfg.JoinQPSPerPE = 0.3
+	cfg.MeasureTime = Seconds(6)
+	return Sweep{
+		Name: "faultsweep",
+		Base: cfg,
+		Strategies: []Strategy{
+			MustStrategy("psu-opt+RANDOM"),
+			MustStrategy("OPT-IO-CPU"),
+		},
+		Axes: []Axis{FaultAxis("fault", FaultPlan{}, crashPlan(t))},
+	}
+}
+
+// TestWithFaultsOverridesPoints: WithFaults stamps the plan onto every
+// point (FaultSpec lands in the results), and an explicitly empty plan
+// reproduces the fault-free rows bit for bit.
+func TestWithFaultsOverridesPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	ctx := context.Background()
+	cfg := tinySweepCfg()
+	cfg.JoinQPSPerPE = 0.3
+	sweep := Sweep{Name: "one", Base: cfg, Strategies: []Strategy{MustStrategy("psu-opt+RANDOM")}}
+
+	plain, err := NewExperiment(sweep).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].Res.FaultSpec != "" {
+		t.Fatalf("fault-free row carries FaultSpec %q", plain[0].Res.FaultSpec)
+	}
+	empty, err := NewExperiment(sweep, WithFaults(FaultPlan{})).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, empty) {
+		t.Error("WithFaults(empty plan) changed rows")
+	}
+
+	fp := crashPlan(t)
+	faulted, err := NewExperiment(sweep, WithFaults(fp)).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := faulted[0].Res.FaultSpec; got != fp.String() {
+		t.Errorf("FaultSpec %q, want %q", got, fp.String())
+	}
+	if faulted[0].Res.Aborts == 0 {
+		t.Error("crash under static selection produced no aborts")
+	}
+}
+
+// TestFaultedSweepDeterminismAcrossWorkers is the fault-replay acceptance
+// check: a windowed sweep mixing fault-free and crash points must produce
+// bit-identical rows at any worker count.
+func TestFaultedSweepDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func(workers int) []Row {
+		rows, err := NewExperiment(faultSweep(t),
+			WithMetricsWindow(Seconds(1)),
+			WithWorkers(workers),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	seq := run(1)
+	if len(seq) != 4 {
+		t.Fatalf("row count %d, want 4 (2 plans x 2 strategies)", len(seq))
+	}
+	for _, workers := range []int{4, 0 /* NumCPU */} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("faulted rows differ between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
+// TestGoldenFailoverQuick locks the failover sweep's CSV bytes: the fault
+// column group (spec, aborts, retries, availability), the per-window abort
+// and availability series, and the empty-cell padding of the fault-free
+// axis value, on top of the windowed transient columns. Like the other
+// goldens it doubles as a cross-worker replay check, since the sweep runs
+// on NumCPU workers.
+func TestGoldenFailoverQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	skipUnlessGoldenArch(t)
+	rows, err := NewExperiment(faultSweep(t), WithMetricsWindow(Seconds(1))).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockGolden(t, "failover_quick.csv", rows)
+}

@@ -180,6 +180,11 @@ type Config struct {
 	// windowed collection; steady-state results are unchanged either way.
 	MetricsWindow sim.Duration
 
+	// Faults injects PE crashes and disk/CPU degradations at scheduled
+	// simulated times (see FaultPlan). The zero value injects nothing and
+	// is bit-identical to a config without a plan.
+	Faults FaultPlan
+
 	// Simulation horizon.
 	Seed        int64
 	Warmup      sim.Duration
@@ -264,6 +269,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: metrics window %v < 1ms", c.MetricsWindow)
 	}
 	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(c.NPE); err != nil {
 		return err
 	}
 	for i, sc := range c.ScanClasses {

@@ -1,0 +1,199 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"dynlb/internal/sim"
+)
+
+func TestFaultValidate(t *testing.T) {
+	valid := []Fault{
+		Crash(1, 20*sim.Second, 10*sim.Second),
+		Crash(9, 0, 0), // at 0, never recovers
+		SlowDisk(2, 15*sim.Second, 20*sim.Second, 4),
+		SlowDisk(0, 0, 0, 1), // PE 0 may degrade, just not crash
+		Straggler(1, 10*sim.Second, 0, 2),
+	}
+	for _, f := range valid {
+		if err := f.Validate(10); err != nil {
+			t.Errorf("%s: unexpected Validate error: %v", f, err)
+		}
+	}
+	invalid := []Fault{
+		Crash(0, 20*sim.Second, 0),  // control node
+		Crash(10, 20*sim.Second, 0), // out of range
+		Crash(-1, 20*sim.Second, 0),
+		Crash(1, -sim.Second, 0),
+		Crash(1, sim.Second, -sim.Second),
+		SlowDisk(2, sim.Second, -sim.Second, 4),
+		SlowDisk(2, sim.Second, sim.Second, 0.5), // factor < 1
+		Straggler(1, sim.Second, 0, 0),
+		{Kind: FaultKind(99), PE: 1},
+	}
+	for _, f := range invalid {
+		if err := f.Validate(10); err == nil {
+			t.Errorf("%+v: Validate accepted an invalid fault", f)
+		}
+	}
+
+	// The plan validates element-wise; the zero plan always passes.
+	if err := (FaultPlan{}).Validate(1); err != nil {
+		t.Errorf("empty plan: %v", err)
+	}
+	p := FaultPlan{Faults: []Fault{Crash(1, 0, 0), Crash(0, 0, 0)}}
+	if err := p.Validate(10); err == nil {
+		t.Error("plan with a control-node crash validated")
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	specs := []string{
+		"crash(pe=3,at=20s,down=10s)",
+		"crash(pe=7,at=1m40s,down=0s)",
+		"slowdisk(pe=2,at=15s,for=20s,factor=4)",
+		"slowdisk(pe=1,at=500ms,for=0s,factor=1.5)",
+		"straggler(pe=1,at=10s,for=0s,factor=2)",
+	}
+	for _, spec := range specs {
+		f, err := ParseFault(spec)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", spec, err)
+		}
+		if got := f.String(); got != spec {
+			t.Errorf("ParseFault(%q).String() = %q", spec, got)
+		}
+		again, err := ParseFault(f.String())
+		if err != nil || again != f {
+			t.Errorf("round trip of %q: %+v, %v", spec, again, err)
+		}
+	}
+}
+
+func TestParseFaultDefaultsAndErrors(t *testing.T) {
+	// Omitted keys keep the kind's defaults; given keys override.
+	f, err := ParseFault("crash(pe=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.PE != 5 || f.At != 20*sim.Second || f.Down != 10*sim.Second {
+		t.Errorf("crash defaults: %+v", f)
+	}
+	if f, err = ParseFault("straggler"); err != nil || f.Kind != FaultStraggler || f.Factor != 2 {
+		t.Errorf("bare kind: %+v, %v", f, err)
+	}
+	if f, err = ParseFault(" SlowDisk( pe=2 , factor=8 ) "); err != nil || f.PE != 2 || f.Factor != 8 {
+		t.Errorf("spaced spec: %+v, %v", f, err)
+	}
+
+	bad := map[string]string{
+		"meteor":                 "unknown fault kind",
+		"crash(pe=3":             "missing closing parenthesis",
+		"crash(speed=3)":         "unknown parameter",
+		"crash(pe)":              "unknown parameter", // no "=" value
+		"crash(pe=two)":          "pe",
+		"crash(at=fast)":         "at",
+		"slowdisk(factor=huge)":  "factor",
+		"crash(factor=2)":        "unknown parameter", // crash takes no factor
+		"straggler(down=5s)":     "unknown parameter", // down is crash-only
+		"crash(pe=3,at=1s,x=2)":  "unknown parameter",
+		"crash(pe=3)(pe=4)":      "pe", // second group lands inside the params
+		"slowdisk(for=1s,pe=1))": "pe", // stray paren corrupts the pe value
+	}
+	for spec, frag := range bad {
+		if _, err := ParseFault(spec); err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseFault(%q): err = %v, want substring %q", spec, err, frag)
+		}
+	}
+}
+
+func TestParseFaultsPlan(t *testing.T) {
+	for _, spec := range []string{"", "  ", "none", "None"} {
+		p, err := ParseFaults(spec)
+		if err != nil || !p.IsEmpty() {
+			t.Errorf("ParseFaults(%q) = %+v, %v; want empty plan", spec, p, err)
+		}
+		if p.String() != "" {
+			t.Errorf("empty plan String() = %q", p.String())
+		}
+	}
+
+	spec := "crash(pe=3,at=20s,down=10s);straggler(pe=1,at=10s,for=0s,factor=2)"
+	p, err := ParseFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 2 || p.Faults[0].Kind != FaultCrash || p.Faults[1].Kind != FaultStraggler {
+		t.Fatalf("plan %+v", p)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("plan String() = %q, want %q", got, spec)
+	}
+	// Stray separators are tolerated; a bad element fails the whole plan.
+	if p, err = ParseFaults("; crash(pe=2) ;"); err != nil || len(p.Faults) != 1 {
+		t.Errorf("stray separators: %+v, %v", p, err)
+	}
+	if _, err = ParseFaults("crash(pe=2);meteor"); err == nil {
+		t.Error("plan with an unknown kind parsed")
+	}
+}
+
+// FuzzParseFault checks the parser never panics and that every accepted
+// fault round-trips exactly through its String form — the property the
+// result cache and CSV fault columns rely on.
+func FuzzParseFault(f *testing.F) {
+	for _, seed := range []string{
+		"crash(pe=3,at=20s,down=10s)",
+		"slowdisk(pe=2,at=15s,for=20s,factor=4)",
+		"straggler(pe=1,at=10s,factor=2)",
+		"crash", "none", "", "crash(", "crash()", "crash(pe=)",
+		"CRASH(PE=1)", " slowdisk ( factor = 1.5 ) ",
+		"crash(pe=3,at=20s,down=10s);straggler(pe=1)",
+		"crash(pe=-1,at=-5s)", "slowdisk(factor=1e308)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		flt, err := ParseFault(spec)
+		if err != nil {
+			return
+		}
+		again, err := ParseFault(flt.String())
+		if err != nil {
+			t.Fatalf("ParseFault(%q) ok but its String %q does not re-parse: %v", spec, flt.String(), err)
+		}
+		if again != flt {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, flt)
+		}
+	})
+}
+
+// FuzzParseProfile is the same no-panic/round-trip property for the load
+// profile parser.
+func FuzzParseProfile(f *testing.F) {
+	for _, seed := range []string{
+		"constant",
+		"square:factor=4,period=2s,duty=0.5",
+		"diurnal:amp=0.6,period=10s",
+		"drift:slope=0.2",
+		"flash:start=2s,dur=3s,factor=4,skew=1.5",
+		"square", "", "none", "square:", "square:factor=",
+		" FLASH : factor = 2 ", "square:duty=1", "diurnal:amp=1",
+		"flash:start=-1s", "square:period=1e9s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return
+		}
+		again, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("ParseProfile(%q) ok but its String %q does not re-parse: %v", spec, p.String(), err)
+		}
+		if again != p {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, p)
+		}
+	})
+}

@@ -67,6 +67,21 @@ func (c *ControlNode) refresh(pe int) {
 	c.view.FreeMem[pe] = f
 }
 
+// SetHealth records the failure detector's knowledge of a PE: 1 healthy,
+// 0 down, in between degraded (see View.Health). The engine's fault events
+// call this directly — an ideal, zero-latency failure detector; the view's
+// Health vector is allocated lazily so fault-free runs keep the nil fast
+// path and its bit-identical orderings.
+func (c *ControlNode) SetHealth(pe int, h float64) {
+	if c.view.Health == nil {
+		c.view.Health = make([]float64, len(c.view.CPU))
+		for i := range c.view.Health {
+			c.view.Health[i] = 1
+		}
+	}
+	c.view.Health[pe] = h
+}
+
 // Reports returns the number of reports received.
 func (c *ControlNode) Reports() int64 { return c.reports }
 

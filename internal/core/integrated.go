@@ -58,7 +58,7 @@ func minOverflowDegree(avail []int, hashPages, maxK int) int {
 // selectLUM returns the first k PEs of the AVAIL-MEMORY order (randomized
 // tie-breaking) and applies the adaptive memory bump to the view.
 func selectLUM(q QueryInfo, v *View, k int, bump bool, rng *rand.Rand) Decision {
-	ids := v.byFreeMemR(rng)[:k]
+	ids := v.byFreeMemR(rng)[:clampAlive(k, v)]
 	out := append([]int(nil), ids...)
 	mem := memPerPE(q, k)
 	if bump {
@@ -146,12 +146,15 @@ func (s OptIOCPU) Decide(q QueryInfo, v *View, rng *rand.Rand) Decision {
 	return selectLUM(q, v, k, !s.NoBump, rng)
 }
 
-// sortedFree returns free memory in AVAIL-MEMORY order (descending).
+// sortedFree returns free memory in AVAIL-MEMORY order (descending). With
+// failure information present, the values are failure-deweighted — a dead
+// PE contributes zero usable memory, a degraded one proportionally less —
+// so the avoidance formulas never count capacity on unusable nodes.
 func sortedFree(v *View) []int {
 	ids := v.ByFreeMem()
 	out := make([]int, len(ids))
 	for i, pe := range ids {
-		out[i] = v.FreeMem[pe]
+		out[i] = int(v.effFreeMem(pe))
 	}
 	return out
 }

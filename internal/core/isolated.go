@@ -95,7 +95,7 @@ func (LUC) Name() string { return "LUC" }
 
 // Select implements SelectionPolicy.
 func (l LUC) Select(k int, v *View, rng *rand.Rand) []int {
-	ids := v.byCPUR(rng)[:k]
+	ids := v.byCPUR(rng)[:clampAlive(k, v)]
 	out := append([]int(nil), ids...)
 	if !l.NoBump {
 		bump := l.Bump
@@ -123,7 +123,7 @@ func (LUM) Name() string { return "LUM" }
 
 // Select implements SelectionPolicy.
 func (l LUM) Select(k int, v *View, rng *rand.Rand) []int {
-	ids := v.byFreeMemR(rng)[:k]
+	ids := v.byFreeMemR(rng)[:clampAlive(k, v)]
 	out := append([]int(nil), ids...)
 	if !l.NoBump {
 		for _, pe := range out {

@@ -21,32 +21,92 @@ import (
 type View struct {
 	CPU     []float64 // per-PE CPU utilization in [0,1]
 	FreeMem []int     // per-PE available buffer pages
+
+	// Health is the failure detector's knowledge of each PE: 1 healthy,
+	// 0 down (crashed, unavailable), in between degraded (service times
+	// stretched by roughly 1/Health — a straggling CPU or slow disk). nil
+	// when no failure has ever been reported, which is the fault-free fast
+	// path: every ordering and selection below then behaves exactly as if
+	// all PEs were healthy.
+	Health []float64
 }
 
 // N returns the number of PEs in the view.
 func (v *View) N() int { return len(v.CPU) }
 
-// AvgCPU returns the mean CPU utilization over all PEs (the u_cpu of
-// formula 3.2).
+// Alive reports whether pe is selectable. A view without failure
+// information treats every PE as alive.
+func (v *View) Alive(pe int) bool { return v.Health == nil || v.Health[pe] > 0 }
+
+// AliveN returns the number of selectable PEs (N without failure info).
+func (v *View) AliveN() int {
+	if v.Health == nil {
+		return len(v.CPU)
+	}
+	n := 0
+	for _, h := range v.Health {
+		if h > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// effCPU is the failure-deweighted CPU key: a degraded PE looks
+// proportionally busier (its service times are stretched), so load-based
+// selection sheds work from it.
+func (v *View) effCPU(pe int) float64 {
+	if v.Health == nil {
+		return v.CPU[pe]
+	}
+	h := v.Health[pe]
+	if h <= 0 || h >= 1 {
+		return v.CPU[pe]
+	}
+	return v.CPU[pe] / h
+}
+
+// effFreeMem is the failure-deweighted memory key: a degraded PE's memory
+// is worth less (its I/O and CPU are slower), a dead PE's nothing.
+func (v *View) effFreeMem(pe int) float64 {
+	if v.Health == nil {
+		return float64(v.FreeMem[pe])
+	}
+	return float64(v.FreeMem[pe]) * v.Health[pe]
+}
+
+// AvgCPU returns the mean CPU utilization over the alive PEs (the u_cpu of
+// formula 3.2). Dead PEs report near-zero utilization and would drag the
+// average down, inflating dynamic degrees exactly when capacity shrank.
 func (v *View) AvgCPU() float64 {
-	if len(v.CPU) == 0 {
+	var s float64
+	n := 0
+	for pe, u := range v.CPU {
+		if !v.Alive(pe) {
+			continue
+		}
+		s += u
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var s float64
-	for _, u := range v.CPU {
-		s += u
-	}
-	return s / float64(len(v.CPU))
+	return s / float64(n)
 }
 
 // ByFreeMem returns PE ids sorted by free memory descending (AVAIL-MEMORY
-// order), ties broken by PE id for determinism.
+// order), ties broken by PE id for determinism. With failure information
+// present, alive PEs order first by deweighted free memory; dead PEs sink
+// to the end.
 func (v *View) ByFreeMem() []int {
 	ids := idSlice(len(v.FreeMem))
 	sort.SliceStable(ids, func(i, j int) bool {
 		a, b := ids[i], ids[j]
-		if v.FreeMem[a] != v.FreeMem[b] {
-			return v.FreeMem[a] > v.FreeMem[b]
+		if aa, ab := v.Alive(a), v.Alive(b); aa != ab {
+			return aa
+		}
+		if fa, fb := v.effFreeMem(a), v.effFreeMem(b); fa != fb {
+			return fa > fb
 		}
 		return a < b
 	})
@@ -54,13 +114,17 @@ func (v *View) ByFreeMem() []int {
 }
 
 // ByCPU returns PE ids sorted by CPU utilization ascending (least utilized
-// first), ties broken by PE id.
+// first), ties broken by PE id. With failure information present, alive
+// PEs order first by deweighted utilization; dead PEs sink to the end.
 func (v *View) ByCPU() []int {
 	ids := idSlice(len(v.CPU))
 	sort.SliceStable(ids, func(i, j int) bool {
 		a, b := ids[i], ids[j]
-		if v.CPU[a] != v.CPU[b] {
-			return v.CPU[a] < v.CPU[b]
+		if aa, ab := v.Alive(a), v.Alive(b); aa != ab {
+			return aa
+		}
+		if ca, cb := v.effCPU(a), v.effCPU(b); ca != cb {
+			return ca < cb
 		}
 		return a < b
 	})
@@ -74,7 +138,11 @@ func (v *View) ByCPU() []int {
 func (v *View) byFreeMemR(rng *rand.Rand) []int {
 	ids := shuffled(len(v.FreeMem), rng)
 	sort.SliceStable(ids, func(i, j int) bool {
-		return v.FreeMem[ids[i]] > v.FreeMem[ids[j]]
+		a, b := ids[i], ids[j]
+		if aa, ab := v.Alive(a), v.Alive(b); aa != ab {
+			return aa
+		}
+		return v.effFreeMem(a) > v.effFreeMem(b)
 	})
 	return ids
 }
@@ -83,7 +151,11 @@ func (v *View) byFreeMemR(rng *rand.Rand) []int {
 func (v *View) byCPUR(rng *rand.Rand) []int {
 	ids := shuffled(len(v.CPU), rng)
 	sort.SliceStable(ids, func(i, j int) bool {
-		return v.CPU[ids[i]] < v.CPU[ids[j]]
+		a, b := ids[i], ids[j]
+		if aa, ab := v.Alive(a), v.Alive(b); aa != ab {
+			return aa
+		}
+		return v.effCPU(a) < v.effCPU(b)
 	})
 	return ids
 }
@@ -100,7 +172,20 @@ func (v *View) Clone() *View {
 	return &View{
 		CPU:     append([]float64(nil), v.CPU...),
 		FreeMem: append([]int(nil), v.FreeMem...),
+		Health:  append([]float64(nil), v.Health...),
 	}
+}
+
+// clampAlive bounds a selection size by the number of alive PEs (at least
+// one): view-driven selections never place work on a PE known to be down.
+func clampAlive(k int, v *View) int {
+	if a := v.AliveN(); a > 0 && k > a {
+		return a
+	}
+	if k < 1 {
+		return 1
+	}
+	return k
 }
 
 func idSlice(n int) []int {

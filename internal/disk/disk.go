@@ -57,6 +57,12 @@ type Subsystem struct {
 	cache  *lru
 	params Params
 
+	// slow > 1 stretches every controller and disk service time by that
+	// factor (fault injection: a degraded disk subsystem). 0 or 1 is the
+	// unmodified fast path — no float multiply touches the durations, so
+	// fault-free runs stay bit-identical.
+	slow float64
+
 	reads     int64
 	writes    int64
 	cacheHits int64
@@ -85,6 +91,23 @@ func New(k *sim.Kernel, name string, ndisks int, p Params) *Subsystem {
 	return s
 }
 
+// SetSlowdown sets the service-time stretch factor of the whole subsystem
+// (fault injection). 1 restores normal speed.
+func (s *Subsystem) SetSlowdown(f float64) {
+	if f <= 1 {
+		f = 0 // keep the zero-value fast path
+	}
+	s.slow = f
+}
+
+// stretch applies the degradation factor to a service time.
+func (s *Subsystem) stretch(d sim.Duration) sim.Duration {
+	if s.slow > 1 {
+		return sim.Duration(float64(d) * s.slow)
+	}
+	return d
+}
+
 // NDisks returns the number of disk servers.
 func (s *Subsystem) NDisks() int { return len(s.disks) }
 
@@ -103,7 +126,7 @@ func (s *Subsystem) Read(p *sim.Proc, dsk int, pg PageID, sequential bool) bool 
 	s.reads++
 	if s.cache != nil && s.cache.get(pg) {
 		s.cacheHits++
-		s.ctrl.Use(p, s.params.CtrlPerPage+s.params.TransferPerPage)
+		s.ctrl.Use(p, s.stretch(s.params.CtrlPerPage+s.params.TransferPerPage))
 		return true
 	}
 	n := 1
@@ -111,10 +134,10 @@ func (s *Subsystem) Read(p *sim.Proc, dsk int, pg PageID, sequential bool) bool 
 		n = s.params.Prefetch
 	}
 	s.physReads++
-	s.ctrl.Use(p, s.params.CtrlPerPage)
-	access := s.params.AvgAccess + sim.Duration(n)*s.params.PrefetchPerPage
+	s.ctrl.Use(p, s.stretch(s.params.CtrlPerPage))
+	access := s.stretch(s.params.AvgAccess + sim.Duration(n)*s.params.PrefetchPerPage)
 	s.disk(dsk).Use(p, access)
-	s.ctrl.Use(p, s.params.TransferPerPage)
+	s.ctrl.Use(p, s.stretch(s.params.TransferPerPage))
 	if s.cache != nil {
 		for i := 0; i < n; i++ {
 			s.cache.put(PageID{Space: pg.Space, Page: pg.Page + int64(i)})
@@ -128,9 +151,9 @@ func (s *Subsystem) Read(p *sim.Proc, dsk int, pg PageID, sequential bool) bool 
 // shortly after, e.g. temporary join partitions).
 func (s *Subsystem) Write(p *sim.Proc, dsk int, pg PageID) {
 	s.writes++
-	s.ctrl.Use(p, s.params.CtrlPerPage)
-	s.disk(dsk).Use(p, s.params.AvgAccess+s.params.PrefetchPerPage)
-	s.ctrl.Use(p, s.params.TransferPerPage)
+	s.ctrl.Use(p, s.stretch(s.params.CtrlPerPage))
+	s.disk(dsk).Use(p, s.stretch(s.params.AvgAccess+s.params.PrefetchPerPage))
+	s.ctrl.Use(p, s.stretch(s.params.TransferPerPage))
 	if s.cache != nil {
 		s.cache.put(pg)
 	}
@@ -154,9 +177,9 @@ func (s *Subsystem) WriteRun(p *sim.Proc, dsk int, pg PageID, n int) {
 		return
 	}
 	s.writes += int64(n)
-	s.ctrl.Use(p, sim.Duration(n)*s.params.CtrlPerPage)
-	s.disk(dsk).Use(p, s.params.AvgAccess+sim.Duration(n)*s.params.PrefetchPerPage)
-	s.ctrl.Use(p, sim.Duration(n)*s.params.TransferPerPage)
+	s.ctrl.Use(p, s.stretch(sim.Duration(n)*s.params.CtrlPerPage))
+	s.disk(dsk).Use(p, s.stretch(s.params.AvgAccess+sim.Duration(n)*s.params.PrefetchPerPage))
+	s.ctrl.Use(p, s.stretch(sim.Duration(n)*s.params.TransferPerPage))
 	if s.cache != nil {
 		for i := 0; i < n; i++ {
 			s.cache.put(PageID{Space: pg.Space, Page: pg.Page + int64(i)})

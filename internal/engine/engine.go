@@ -33,6 +33,10 @@ type PE struct {
 	locks   *lock.Table
 	mpl     *sim.Store
 
+	// cpuSlow > 1 stretches every CPU charge by that factor (fault
+	// injection: a straggler PE). 1 is the unmodified fast path.
+	cpuSlow float64
+
 	// utilization snapshot for periodic control reports.
 	lastReportAt   sim.Time
 	lastReportBusy float64
@@ -46,7 +50,17 @@ func (pe *PE) compute(p *sim.Proc, instr int64) {
 	if instr <= 0 {
 		return
 	}
-	pe.cpu.Use(p, pe.sys.cfg.CPUTime(instr))
+	pe.cpu.Use(p, pe.stretchCPU(pe.sys.cfg.CPUTime(instr)))
+}
+
+// stretchCPU applies the straggler degradation factor to a CPU duration.
+// cpuSlow == 1 (the fault-free state) returns d untouched — no float
+// multiply, bit-identical.
+func (pe *PE) stretchCPU(d sim.Duration) sim.Duration {
+	if pe.cpuSlow > 1 {
+		return sim.Duration(float64(d) * pe.cpuSlow)
+	}
+	return d
 }
 
 // computeT charges a pre-converted CPU duration (see costT). The inner
@@ -63,7 +77,7 @@ func (pe *PE) computeT(p *sim.Proc, d sim.Duration) {
 	if d < 0 {
 		return
 	}
-	pe.cpu.Use(p, d)
+	pe.cpu.Use(p, pe.stretchCPU(d))
 }
 
 // computeTFn is computeT for run-to-completion light processes
@@ -76,7 +90,7 @@ func (pe *PE) computeTFn(d sim.Duration, fn func()) {
 		fn()
 		return
 	}
-	pe.cpu.UseFn(d, fn)
+	pe.cpu.UseFn(pe.stretchCPU(d), fn)
 }
 
 // costT holds the cost-model segments the hot inner loops charge with
@@ -155,6 +169,10 @@ type System struct {
 	// steady-state code path (and its bit-identical event stream).
 	profileConst bool
 
+	// faults is the fault-injection state, nil when Config.Faults is empty
+	// so fault-free runs take the original code path (see faults.go).
+	faults *faultState
+
 	nextSpace int64
 	nextTxn   lock.TxnID
 	nextQuery int64
@@ -225,12 +243,13 @@ func New(cfg config.Config, strategy core.Strategy) (*System, error) {
 	}
 	for i := 0; i < cfg.NPE; i++ {
 		pe := &PE{
-			id:    i,
-			sys:   s,
-			cpu:   sim.NewServer(k, fmt.Sprintf("pe%d/cpu", i), cfg.CPUsPerPE),
-			disks: disk.New(k, fmt.Sprintf("pe%d", i), cfg.DisksPerPE, cfg.Disk),
-			mpl:   sim.NewStore(k, fmt.Sprintf("pe%d/mpl", i), cfg.MPL),
-			locks: lock.NewTable(k, fmt.Sprintf("pe%d/locks", i)),
+			id:      i,
+			sys:     s,
+			cpu:     sim.NewServer(k, fmt.Sprintf("pe%d/cpu", i), cfg.CPUsPerPE),
+			disks:   disk.New(k, fmt.Sprintf("pe%d", i), cfg.DisksPerPE, cfg.Disk),
+			mpl:     sim.NewStore(k, fmt.Sprintf("pe%d/mpl", i), cfg.MPL),
+			locks:   lock.NewTable(k, fmt.Sprintf("pe%d/locks", i)),
+			cpuSlow: 1,
 		}
 		logParams := cfg.Disk
 		logParams.CacheSize = 0
@@ -257,6 +276,9 @@ func New(cfg config.Config, strategy core.Strategy) (*System, error) {
 	if cfg.MemAdmitFrac > 0 {
 		budget := int(cfg.MemAdmitFrac * float64(cfg.NPE*cfg.BufferPages))
 		s.memBudget = sim.NewStore(k, "mem-admission", budget)
+	}
+	if !cfg.Faults.IsEmpty() {
+		s.faults = newFaultState(s)
 	}
 	return s, nil
 }

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"dynlb/internal/config"
+	"dynlb/internal/core"
+	"dynlb/internal/sim"
+)
+
+// faultCfg is quickCfg with enough load that work is in flight when a
+// mid-run fault strikes.
+func faultCfg() config.Config {
+	cfg := quickCfg()
+	cfg.JoinQPSPerPE = 0.3
+	return cfg
+}
+
+// mustFaults parses a fault plan spec or fails the test.
+func mustFaults(t *testing.T, spec string) config.FaultPlan {
+	t.Helper()
+	p, err := config.ParseFaults(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFaultDeterminism: every fault kind replays bit-identically — two runs
+// of the same faulted configuration agree on every counter, including the
+// abort/retry bookkeeping the fault layer adds.
+func TestFaultDeterminism(t *testing.T) {
+	for _, spec := range []string{
+		"crash(pe=3,at=2s,down=3s)",
+		"slowdisk(pe=2,at=1s,for=4s,factor=6)",
+		"straggler(pe=1,at=1s,for=0s,factor=3)",
+		"crash(pe=4,at=2s,down=2s);slowdisk(pe=2,at=1s,for=4s,factor=4);straggler(pe=1,at=3s,factor=2)",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			cfg := faultCfg()
+			cfg.Faults = mustFaults(t, spec)
+			run := func() Results {
+				return MustNew(cfg, core.MustByName("OPT-IO-CPU")).Run()
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("faulted runs diverged:\n%+v\n%+v", a, b)
+			}
+			if a.FaultSpec != cfg.Faults.String() {
+				t.Errorf("FaultSpec %q, want %q", a.FaultSpec, cfg.Faults.String())
+			}
+		})
+	}
+}
+
+// TestEmptyPlanIdenticalToNone: a config carrying an explicitly empty
+// FaultPlan takes the exact fault-free code path — results deep-equal a run
+// without any plan, and no fault fields leak into the output.
+func TestEmptyPlanIdenticalToNone(t *testing.T) {
+	cfg := faultCfg()
+	plain := MustNew(cfg, core.MustByName("OPT-IO-CPU")).Run()
+	cfg.Faults = config.FaultPlan{}
+	empty := MustNew(cfg, core.MustByName("OPT-IO-CPU")).Run()
+	if !reflect.DeepEqual(plain, empty) {
+		t.Fatalf("empty plan changed results:\n%+v\n%+v", plain, empty)
+	}
+	if plain.FaultSpec != "" || plain.Aborts != 0 || plain.Availability != 0 {
+		t.Errorf("fault fields set on a fault-free run: %+v", plain)
+	}
+}
+
+// TestCrashAbortsAndRecovers: a mid-run crash aborts the work in flight on
+// the dead PE (availability dips below 1, retries land), yet the system
+// keeps completing joins — the retry path re-enters the normal arrival flow
+// and the recovered PE rejoins. The failure-blind static selection keeps
+// placing work on the dead PE, so it reliably exercises the abort path.
+func TestCrashAbortsAndRecovers(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Faults = mustFaults(t, "crash(pe=3,at=2s,down=3s)")
+	res := MustNew(cfg, core.MustByName("psu-opt+RANDOM")).Run()
+	if res.JoinsDone == 0 {
+		t.Fatal("no joins completed through the crash")
+	}
+	if res.Aborts == 0 || res.Retries == 0 {
+		t.Fatalf("crash with work in flight caused %d aborts, %d retries; want > 0", res.Aborts, res.Retries)
+	}
+	if !(res.Availability > 0 && res.Availability < 1) {
+		t.Fatalf("availability %v, want in (0, 1) under a crash", res.Availability)
+	}
+}
+
+// TestCrashShedsLoadFromDeadPE: while a PE is down the control layer marks
+// it unavailable, so a failure-aware dynamic strategy completes measurably
+// more of its offered work than the failure-blind static selection on the
+// identical seed.
+func TestCrashShedsLoadFromDeadPE(t *testing.T) {
+	cfg := faultCfg()
+	cfg.Faults = mustFaults(t, "crash(pe=3,at=2s,down=5s)")
+	dynamic := MustNew(cfg, core.MustByName("OPT-IO-CPU")).Run()
+	static := MustNew(cfg, core.MustByName("psu-opt+RANDOM")).Run()
+	if dynamic.Availability <= static.Availability {
+		t.Errorf("dynamic availability %.4f not above static %.4f under crash",
+			dynamic.Availability, static.Availability)
+	}
+	if dynamic.Aborts >= static.Aborts {
+		t.Errorf("dynamic aborts %d not below static %d: dead-PE work not shed",
+			dynamic.Aborts, static.Aborts)
+	}
+}
+
+// TestDegradationStretchesResponseTime: slowdisk and straggler faults slow
+// the afflicted PE's service without aborting anything, so response time
+// rises against the fault-free baseline on the same seed. Measured at the
+// light quickCfg load, where the comparison is not confounded by saturation
+// (an overloaded run completes only its fastest queries, which can drag the
+// mean of the degraded run below the baseline's).
+func TestDegradationStretchesResponseTime(t *testing.T) {
+	base := quickCfg()
+	clean := MustNew(base, core.MustByName("psu-opt+RANDOM")).Run()
+	for _, spec := range []string{
+		"slowdisk(pe=2,at=0s,for=0s,factor=8)",
+		"straggler(pe=2,at=0s,for=0s,factor=8)",
+	} {
+		cfg := base
+		cfg.Faults = mustFaults(t, spec)
+		res := MustNew(cfg, core.MustByName("psu-opt+RANDOM")).Run()
+		if res.JoinRT.MeanMS <= clean.JoinRT.MeanMS {
+			t.Errorf("%s: mean RT %.2fms not above fault-free %.2fms", spec, res.JoinRT.MeanMS, clean.JoinRT.MeanMS)
+		}
+		if res.Aborts != 0 {
+			t.Errorf("%s: degradation aborted %d attempts; only crashes abort", spec, res.Aborts)
+		}
+		if res.Availability != 1 {
+			t.Errorf("%s: availability %v, want 1 without aborts", spec, res.Availability)
+		}
+	}
+}
+
+// TestFaultWindowsCarrySeries: a windowed faulted run fills the per-window
+// abort and availability series, and the abort total matches the windows'.
+func TestFaultWindowsCarrySeries(t *testing.T) {
+	cfg := faultCfg()
+	cfg.MetricsWindow = sim.Second
+	cfg.Faults = mustFaults(t, "crash(pe=3,at=2s,down=3s)")
+	res := MustNew(cfg, core.MustByName("OPT-IO-CPU")).Run()
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows collected")
+	}
+	sum := 0
+	for _, w := range res.Windows {
+		sum += w.Aborts
+	}
+	if int64(sum) != res.Aborts {
+		t.Errorf("window aborts sum %d != total %d", sum, res.Aborts)
+	}
+	for i, w := range res.Windows {
+		if w.Availability < 0 || w.Availability > 1 {
+			t.Errorf("window %d availability %v outside [0,1]", i, w.Availability)
+		}
+	}
+}

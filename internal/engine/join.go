@@ -76,7 +76,33 @@ func (q *joinQuery) expectedShare(total int64, idx int) int64 {
 // into the join processes (building), parallel B scans (probing), deferred
 // partition joins, result merge at the coordinator, read-only two-phase
 // commit with a single round.
+//
+// Under fault injection each attempt runs the same flow; a participant
+// crash is detected at the phase checkpoints inside joinAttempt, the
+// attempt aborts (locks and the placement reservation release) and the
+// query is resubmitted after capped exponential backoff, re-entering the
+// coordinator placement on the next live PE. Without a fault plan the
+// single attempt is the original code path.
 func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Duration {
+	if s.faults == nil {
+		rt, _ := s.joinAttempt(p, coordPE, arrival)
+		return rt
+	}
+	for attempt := 0; ; attempt++ {
+		if rt, ok := s.joinAttempt(p, s.faults.liveHost(coordPE), arrival); ok {
+			return rt
+		}
+		s.faults.noteAbort()
+		p.Wait(retryBackoff(attempt))
+		s.faults.noteRetry()
+	}
+}
+
+// joinAttempt runs one attempt of a join query on the given (live)
+// coordinator PE. It reports ok=false when a participant failure aborted
+// the attempt after teardown; the caller retries.
+func (s *System) joinAttempt(p *sim.Proc, coordPE int, arrival sim.Time) (sim.Duration, bool) {
+	attemptStart := s.k.Now()
 	pe := s.pe(coordPE)
 	pe.mpl.Get(p, 1)
 	defer pe.mpl.Put(1)
@@ -90,6 +116,13 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 		arrival: arrival,
 		aPEs:    s.cfg.ANodes(),
 		bPEs:    s.cfg.BNodes(),
+	}
+	if s.faults != nil {
+		// Fragments of a crashed PE are scanned at its chained-declustering
+		// buddy (the next live PE), so placements avoiding the dead node
+		// complete during the outage.
+		q.aPEs = s.faults.liveHosts(q.aPEs)
+		q.bPEs = s.faults.liveHosts(q.bPEs)
 	}
 	q.coordMail = sim.NewChan[cmsg](s.k, fmt.Sprintf("q%d/coord", q.id))
 
@@ -172,6 +205,13 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 			panic(fmt.Sprintf("engine: q%d unexpected %v during build", q.id, m.kind))
 		}
 	}
+	// Fault checkpoint: a participant crashed during the building phase —
+	// its hash-table partitions are lost, so abort before probing. The join
+	// processes wait in their probe loops and must be told to stop.
+	if s.faults != nil && q.anyFailedSince(attemptStart) {
+		s.abortJoinAttempt(p, q, true)
+		return 0, false
+	}
 
 	// Probing phase: start the B scans.
 	for i, bpe := range q.bPEs {
@@ -206,49 +246,20 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 			panic(fmt.Sprintf("engine: q%d unexpected %v during probe", q.id, m.kind))
 		}
 	}
+	// Fault checkpoint: a participant crashed during probing or the
+	// deferred joins — results are incomplete, abort. The join processes
+	// have already terminated, so only locks and the reservation release.
+	if s.faults != nil && q.anyFailedSince(attemptStart) {
+		s.abortJoinAttempt(p, q, false)
+		return 0, false
+	}
 
 	// Read-only optimization: one commit round releases the read locks.
-	// The participant side — receive, release locks, ack — only charges CPU
-	// and wire holds, so it runs as a light process.
-	participants := 0
-	commitOne := func(target int) {
-		participants++
-		s.sendCtl(p, coordPE, target, func() {
-			s.k.SpawnFn(func() {
-				s.recvCtlCPUFn(target, func() {
-					s.pe(target).locks.ReleaseAll(q.txn)
-					s.sendCtlFn(target, coordPE, func() {
-						q.coordMail.Put(cmsg{kind: cmsgAck, from: target})
-					}, nopThen)
-				})
-			})
-		})
-	}
-	for _, ape := range q.aPEs {
-		commitOne(ape)
-	}
-	for _, bpe := range q.bPEs {
-		commitOne(bpe)
-	}
-	for acks := 0; acks < participants; {
-		m, _ := q.coordMail.Get(p)
-		if m.kind != cmsgAck {
-			panic(fmt.Sprintf("engine: q%d unexpected %v during commit", q.id, m.kind))
-		}
-		s.recvCtlCPU(p, coordPE)
-		acks++
-	}
+	q.releaseRound(p)
 	pe.computeT(p, s.ct.termTxn)
 
 	// Return the placement's reservation to the control node's ledger.
-	dec := q.dec
-	s.sendCtlAsync(coordPE, s.ctrlPE, func() {
-		s.k.SpawnFn(func() {
-			s.recvCtlCPUFn(s.ctrlPE, func() {
-				s.ctrl.Release(dec)
-			})
-		})
-	})
+	q.releaseDecision()
 
 	rt := s.k.Now() - arrival
 	if s.measuring {
@@ -257,7 +268,96 @@ func (s *System) runJoinQuery(p *sim.Proc, coordPE int, arrival sim.Time) sim.Du
 			s.win.addRT(rt.Milliseconds())
 		}
 	}
-	return rt
+	return rt, true
+}
+
+// anyFailedSince reports whether any participant of the attempt — the
+// coordinator, a join process host, or a scan host — has failed since the
+// attempt started.
+func (q *joinQuery) anyFailedSince(start sim.Time) bool {
+	fs := q.s.faults
+	if fs.failedSince(q.coordPE, start) {
+		return true
+	}
+	for _, pe := range q.dec.JoinPEs {
+		if fs.failedSince(pe, start) {
+			return true
+		}
+	}
+	for _, pe := range q.aPEs {
+		if fs.failedSince(pe, start) {
+			return true
+		}
+	}
+	for _, pe := range q.bPEs {
+		if fs.failedSince(pe, start) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseRound sends the single commit/abort round to every scan host: each
+// participant releases the query's read locks and acks. The participant
+// side only charges CPU and wire holds, so it runs as a light process.
+func (q *joinQuery) releaseRound(p *sim.Proc) {
+	s := q.s
+	participants := 0
+	releaseOne := func(target int) {
+		participants++
+		s.sendCtl(p, q.coordPE, target, func() {
+			s.k.SpawnFn(func() {
+				s.recvCtlCPUFn(target, func() {
+					s.pe(target).locks.ReleaseAll(q.txn)
+					s.sendCtlFn(target, q.coordPE, func() {
+						q.coordMail.Put(cmsg{kind: cmsgAck, from: target})
+					}, nopThen)
+				})
+			})
+		})
+	}
+	for _, ape := range q.aPEs {
+		releaseOne(ape)
+	}
+	for _, bpe := range q.bPEs {
+		releaseOne(bpe)
+	}
+	for acks := 0; acks < participants; {
+		m, _ := q.coordMail.Get(p)
+		if m.kind != cmsgAck {
+			panic(fmt.Sprintf("engine: q%d unexpected %v during commit", q.id, m.kind))
+		}
+		s.recvCtlCPU(p, q.coordPE)
+		acks++
+	}
+}
+
+// releaseDecision returns the placement's reservation to the control
+// node's ledger (asynchronously; the coordinator does not wait).
+func (q *joinQuery) releaseDecision() {
+	s := q.s
+	dec := q.dec
+	s.sendCtlAsync(q.coordPE, s.ctrlPE, func() {
+		s.k.SpawnFn(func() {
+			s.recvCtlCPUFn(s.ctrlPE, func() {
+				s.ctrl.Release(dec)
+			})
+		})
+	})
+}
+
+// abortJoinAttempt tears a failed attempt down: the join processes are told
+// to stop (stopProcs — needed only while they still wait in their probe
+// loops), the read locks release at every scan host, abort cleanup is
+// charged at the coordinator, and the placement reservation returns to the
+// control node.
+func (s *System) abortJoinAttempt(p *sim.Proc, q *joinQuery, stopProcs bool) {
+	if stopProcs {
+		q.broadcastJoin(p, jmsgStop)
+	}
+	q.releaseRound(p)
+	s.pe(q.coordPE).computeT(p, s.ct.termTxnHalf)
+	q.releaseDecision()
 }
 
 // scanSpacePages returns a scan subquery's working-space request:
@@ -282,6 +382,18 @@ func scanSpacePages(bufferPages int) int {
 // costT durations (the per-page batch of tuple costs stays a compute call:
 // its count varies on the last page).
 func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx int) {
+	start := s.k.Now()
+	done := cmsgScanBDone
+	if inner {
+		done = cmsgScanADone
+	}
+	if s.faults != nil && !s.faults.hostUp(pe.id) {
+		// The host crashed before the start message arrived. The failure
+		// detector synthesizes the completion report the coordinator is
+		// counting; the coordinator aborts at its next checkpoint.
+		q.coordMail.Put(cmsg{kind: done, from: pe.id})
+		return
+	}
 	s.recvCtlCPU(p, pe.id) // start message
 	c := &s.cfg
 	ct := &s.ct
@@ -355,6 +467,9 @@ func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx 
 	var sent int64
 	var pageCursor int64
 	for remaining := match; remaining > 0; {
+		if s.faults != nil && s.faults.failedSince(pe.id, start) {
+			break // crashed mid-scan: stop doing real work
+		}
 		pg := pageID(relSpace*1_000_000-int64(fragIdx)*100_000, pageCursor)
 		if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
 			pe.computeT(p, ct.io)
@@ -392,6 +507,13 @@ func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx 
 			}
 		}
 	}
+	if s.faults != nil && s.faults.failedSince(pe.id, start) {
+		// Crashed under the scan: the buffered output is lost; report
+		// completion so the coordinator's counting closes, then abort at
+		// its checkpoint. (The abort round still releases the read lock.)
+		q.coordMail.Put(cmsg{kind: done, from: pe.id})
+		return
+	}
 	// Skewed apportionment truncates fractions; hand leftovers out
 	// round-robin so every matching tuple is shipped.
 	for ; sent < match; sent++ {
@@ -406,10 +528,6 @@ func (s *System) runScan(p *sim.Proc, q *joinQuery, pe *PE, inner bool, fragIdx 
 	// join processes once all scans are in).
 	for i := range bufs {
 		sendBuf(i)
-	}
-	done := cmsgScanBDone
-	if inner {
-		done = cmsgScanADone
 	}
 	s.sendCtl(p, pe.id, q.coordPE, func() {
 		q.coordMail.Put(cmsg{kind: done, from: pe.id})
@@ -458,6 +576,16 @@ func (c *jmsgCursor) next(p *sim.Proc) jmsg {
 // FCFS memory queue), PPHJ building/probing, deferred partition joins, and
 // result shipping.
 func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
+	start := s.k.Now()
+	if s.faults != nil && !s.faults.hostUp(pe.id) {
+		s.deadJoinProc(p, q, idx, pe.id)
+		return
+	}
+	// failed reports whether this PE has crashed under the process. The
+	// process then stops doing real work (arriving data vanishes) but keeps
+	// draining its mailbox and reporting phase completions, so the
+	// coordinator's protocol closes and aborts at its checkpoint.
+	failed := func() bool { return s.faults != nil && s.faults.failedSince(pe.id, start) }
 	s.recvCtlCPU(p, pe.id) // start message
 	c := &s.cfg
 	mail := q.joinMail[idx]
@@ -510,31 +638,47 @@ func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
 		m := next()
 		switch m.kind {
 		case jmsgBuild:
+			if failed() {
+				continue // crashed: arriving build data vanishes
+			}
 			s.recvDataCPU(p, pe.id, m.tuples)
 			pe.compute(p, m.tuples*(c.Costs.HashTuple+c.Costs.InsertHash))
 			temp.write(p, j.Build(m.tuples))
 		case jmsgAEOF:
+			if failed() {
+				building = false
+				continue
+			}
 			s.recvCtlCPU(p, pe.id)
 			building = false
+		case jmsgStop:
+			return // coordinator aborted the attempt
 		default:
 			panic("engine: unexpected probe data during build")
 		}
 	}
-	j.EndBuild()
-	// Memory may have freed up since acquisition: revive partitions.
-	if grown := space.TryGrow(desired - space.Pages()); grown > 0 {
-		j.SetMem(space.Pages())
-		temp.read(p, j.Revive())
-	}
-	s.sendCtl(p, pe.id, q.coordPE, func() {
+	if failed() {
 		q.coordMail.Put(cmsg{kind: cmsgBuildDone, from: pe.id})
-	})
+	} else {
+		j.EndBuild()
+		// Memory may have freed up since acquisition: revive partitions.
+		if grown := space.TryGrow(desired - space.Pages()); grown > 0 {
+			j.SetMem(space.Pages())
+			temp.read(p, j.Revive())
+		}
+		s.sendCtl(p, pe.id, q.coordPE, func() {
+			q.coordMail.Put(cmsg{kind: cmsgBuildDone, from: pe.id})
+		})
+	}
 
 	// --- Probing phase ---
 	for probing := true; probing; {
 		m := next()
 		switch m.kind {
 		case jmsgProbe:
+			if failed() {
+				continue // crashed: arriving probe data vanishes
+			}
 			s.recvDataCPU(p, pe.id, m.tuples)
 			direct, spilled, w := j.Probe(m.tuples)
 			pe.compute(p, direct*(c.Costs.HashTuple+c.Costs.ProbeHash)+
@@ -542,31 +686,70 @@ func (s *System) runJoinProc(p *sim.Proc, q *joinQuery, pe *PE, idx int) {
 			temp.write(p, w)
 			res.probe(p, direct)
 		case jmsgBEOF:
+			if failed() {
+				probing = false
+				continue
+			}
 			s.recvCtlCPU(p, pe.id)
 			probing = false
+		case jmsgStop:
+			return // coordinator aborted the attempt
 		default:
 			panic("engine: unexpected build data during probe")
 		}
 	}
-	temp.flush(p)
+	if !failed() {
+		temp.flush(p)
 
-	// --- Deferred partition joins ---
-	for _, d := range j.DeferredPlan() {
-		if d.APages > 0 {
-			temp.read(p, d.APages)
-			pe.compute(p, d.ATuples*(c.Costs.ReadTuple+c.Costs.InsertHash))
+		// --- Deferred partition joins ---
+		for _, d := range j.DeferredPlan() {
+			if failed() {
+				break
+			}
+			if d.APages > 0 {
+				temp.read(p, d.APages)
+				pe.compute(p, d.ATuples*(c.Costs.ReadTuple+c.Costs.InsertHash))
+			}
+			if d.BPages > 0 {
+				temp.read(p, d.BPages)
+				pe.compute(p, d.BTuples*(c.Costs.ReadTuple+c.Costs.ProbeHash))
+				res.probe(p, d.BTuples)
+			}
 		}
-		if d.BPages > 0 {
-			temp.read(p, d.BPages)
-			pe.compute(p, d.BTuples*(c.Costs.ReadTuple+c.Costs.ProbeHash))
-			res.probe(p, d.BTuples)
-		}
+	}
+	if failed() {
+		q.coordMail.Put(cmsg{kind: cmsgJoinDone, from: pe.id})
+		return
 	}
 	res.flush(p)
 
 	s.sendCtl(p, pe.id, q.coordPE, func() {
 		q.coordMail.Put(cmsg{kind: cmsgJoinDone, from: pe.id})
 	})
+}
+
+// deadJoinProc stands in for a join process whose host crashed before the
+// start message arrived: arriving redistribution data vanishes, and the
+// failure detector synthesizes the end-of-phase reports the coordinator is
+// counting, so the protocol completes and the coordinator aborts at its
+// next checkpoint.
+func (s *System) deadJoinProc(p *sim.Proc, q *joinQuery, idx, peID int) {
+	mail := q.joinMail[idx]
+	for {
+		m, ok := mail.Get(p)
+		if !ok {
+			return
+		}
+		switch m.kind {
+		case jmsgAEOF:
+			q.coordMail.Put(cmsg{kind: cmsgBuildDone, from: peID})
+		case jmsgBEOF:
+			q.coordMail.Put(cmsg{kind: cmsgJoinDone, from: peID})
+			return
+		case jmsgStop:
+			return
+		}
+	}
 }
 
 // resultEmitter converts probed outer tuples into result tuples (the join

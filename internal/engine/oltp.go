@@ -36,7 +36,21 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 	ct := &s.ct
 	acct := acctSpaceFor(pe.id)
 
-	for attempt := 0; attempt <= maxOLTPRetries; attempt++ {
+	// Fault retries (fAttempt) are counted separately from deadlock retries
+	// (attempt): a crashed home PE is not the transaction's fault, so it
+	// backs off and resubmits without consuming the deadlock budget. OLTP
+	// has node affinity — the account fragment lives on the home PE — so it
+	// keeps retrying until the PE recovers.
+	fAttempt := 0
+	for attempt := 0; attempt <= maxOLTPRetries; {
+		if s.faults != nil && !s.faults.hostUp(pe.id) {
+			s.faults.noteAbort()
+			p.Wait(retryBackoff(fAttempt))
+			s.faults.noteRetry()
+			fAttempt++
+			continue
+		}
+		txnStart := s.k.Now()
 		txn := s.newTxnID()
 		pe.computeT(p, ct.initTxn)
 
@@ -56,7 +70,12 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 		scratch.AcquireBestEffort(p, scratchPagesPerTxn)
 
 		aborted := false
+		faultAborted := false
 		for i := 0; i < o.AccessesPerTx && !aborted; i++ {
+			if s.faults != nil && s.faults.failedSince(pe.id, txnStart) {
+				faultAborted = true
+				break
+			}
 			var page int64
 			if s.rng.Float64() < o.HotAccessProb {
 				page = s.rng.Int63n(o.HotSetPages)
@@ -79,12 +98,26 @@ func (s *System) runOLTP(p *sim.Proc, pe *PE, arrival sim.Time) {
 			pe.computeT(p, ct.tupleRW)
 		}
 
+		if faultAborted {
+			// The home PE crashed mid-transaction: the work is lost. Clean
+			// up (pure bookkeeping — no CPU is charged on a dead PE), back
+			// off and resubmit once the retry timer fires.
+			unpin()
+			scratch.Close()
+			pe.locks.ReleaseAll(txn)
+			s.faults.noteAbort()
+			p.Wait(retryBackoff(fAttempt))
+			s.faults.noteRetry()
+			fAttempt++
+			continue
+		}
 		if aborted {
 			s.aborts++
 			unpin()
 			scratch.Close()
 			pe.locks.ReleaseAll(txn)
 			pe.computeT(p, ct.termTxnHalf)
+			attempt++
 			continue // retry
 		}
 

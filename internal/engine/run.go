@@ -132,6 +132,9 @@ func (s *System) Run() Results {
 	s.startReporters()
 	s.detector.Start()
 	s.startWorkload()
+	if s.faults != nil {
+		s.faults.schedule()
+	}
 	s.k.Run(s.cfg.Warmup)
 	s.beginMeasurement()
 	s.k.Run(s.cfg.Warmup + s.cfg.MeasureTime)
@@ -196,6 +199,17 @@ type Results struct {
 	WindowMS       float64  `json:"window_ms,omitempty"`
 	PeakWindowRTMS float64  `json:"peak_window_rt_ms,omitempty"`
 	RecoveryMS     float64  `json:"recovery_ms,omitempty"`
+
+	// Fault-injection metrics, present only when Config.Faults was
+	// non-empty (zero values otherwise, so fault-free serialization is
+	// unchanged). Aborts counts attempts lost to injected failures (distinct
+	// from deadlock-victim OLTPAborts), Retries the backoff re-submissions,
+	// and Availability the fraction of attempts that completed:
+	// completed / (completed + Aborts).
+	FaultSpec    string  `json:"fault_spec,omitempty"`
+	Aborts       int64   `json:"aborts,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
 }
 
 func (s *System) results() Results {
@@ -257,6 +271,13 @@ func (s *System) results() Results {
 		res.Windows = s.win.finish(s.k.Now())
 		res.WindowMS = s.win.width.Milliseconds()
 		res.PeakWindowRTMS, res.RecoveryMS = transientMetrics(res.Windows)
+	}
+	if s.faults != nil {
+		res.FaultSpec = s.cfg.Faults.String()
+		res.Aborts = s.faults.aborts
+		res.Retries = s.faults.retries
+		completed := res.JoinsDone + res.OLTPDone + int64(s.scanRT.N())
+		res.Availability = availability(completed, s.faults.aborts)
 	}
 	return res
 }

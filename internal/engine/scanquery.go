@@ -16,7 +16,30 @@ import (
 // read-only optimization.
 
 // runScanQuery executes one standalone scan query in the calling process.
+// Under fault injection a participant crash aborts the attempt at the
+// post-collection checkpoint and the query is resubmitted after capped
+// exponential backoff (see runJoinQuery); without a fault plan the single
+// attempt is the original code path.
 func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, arrival sim.Time) {
+	if s.faults == nil {
+		s.scanQueryAttempt(p, coordPE, class, arrival)
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		if s.scanQueryAttempt(p, s.faults.liveHost(coordPE), class, arrival) {
+			return
+		}
+		s.faults.noteAbort()
+		p.Wait(retryBackoff(attempt))
+		s.faults.noteRetry()
+	}
+}
+
+// scanQueryAttempt runs one attempt of a standalone scan query on the given
+// (live) coordinator PE, reporting false when a participant failure aborted
+// it after lock teardown.
+func (s *System) scanQueryAttempt(p *sim.Proc, coordPE int, class config.ScanClass, arrival sim.Time) bool {
+	attemptStart := s.k.Now()
 	pe := s.pe(coordPE)
 	pe.mpl.Get(p, 1)
 	defer pe.mpl.Put(1)
@@ -33,6 +56,9 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 		relSpace = spaceRelB
 		total = s.cfg.BTuples
 		homes = s.cfg.BNodes()
+	}
+	if s.faults != nil {
+		homes = s.faults.liveHosts(homes)
 	}
 
 	mail := sim.NewChan[cmsg](s.k, fmt.Sprintf("sq%d/coord", qid))
@@ -62,33 +88,53 @@ func (s *System) runScanQuery(p *sim.Proc, coordPE int, class config.ScanClass, 
 		}
 	}
 
-	// Read-only commit round releases the fragment locks. The participant
+	// Read-only commit round releases the fragment locks (also sent on
+	// abort — the release round is the same protocol). The participant
 	// side only charges CPU and wire holds: run-to-completion, no process.
-	for _, home := range homes {
-		s.sendCtl(p, coordPE, home, func() {
-			s.k.SpawnFn(func() {
-				s.recvCtlCPUFn(home, func() {
-					s.pe(home).locks.ReleaseAll(txn)
-					s.sendCtlFn(home, coordPE, func() {
-						mail.Put(cmsg{kind: cmsgAck, from: home})
-					}, nopThen)
+	releaseRound := func() {
+		for _, home := range homes {
+			s.sendCtl(p, coordPE, home, func() {
+				s.k.SpawnFn(func() {
+					s.recvCtlCPUFn(home, func() {
+						s.pe(home).locks.ReleaseAll(txn)
+						s.sendCtlFn(home, coordPE, func() {
+							mail.Put(cmsg{kind: cmsgAck, from: home})
+						}, nopThen)
+					})
 				})
 			})
-		})
-	}
-	for acks := 0; acks < len(homes); {
-		m, _ := mail.Get(p)
-		if m.kind != cmsgAck {
-			panic("engine: scan query commit protocol violation")
 		}
-		s.recvCtlCPU(p, coordPE)
-		acks++
+		for acks := 0; acks < len(homes); {
+			m, _ := mail.Get(p)
+			if m.kind != cmsgAck {
+				panic("engine: scan query commit protocol violation")
+			}
+			s.recvCtlCPU(p, coordPE)
+			acks++
+		}
 	}
+
+	// Fault checkpoint: a participant crashed during the scans — the
+	// streamed results are incomplete, so release the locks and abort.
+	if s.faults != nil {
+		failed := s.faults.failedSince(coordPE, attemptStart)
+		for _, home := range homes {
+			failed = failed || s.faults.failedSince(home, attemptStart)
+		}
+		if failed {
+			releaseRound()
+			pe.computeT(p, s.ct.termTxnHalf)
+			return false
+		}
+	}
+
+	releaseRound()
 	pe.computeT(p, s.ct.termTxn)
 
 	if s.measuring {
 		s.scanRT.Add((s.k.Now() - arrival).Milliseconds())
 	}
+	return true
 }
 
 type scanFragment struct {
@@ -108,6 +154,17 @@ type scanFragment struct {
 // pre-converted costT durations; each hold rides the kernel's continuation
 // fast path when uncontended.
 func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
+	start := s.k.Now()
+	if s.faults != nil && !s.faults.hostUp(pe.id) {
+		// Crashed before the start message arrived: the failure detector
+		// synthesizes the completion report; the coordinator aborts at its
+		// checkpoint.
+		f.mail.Put(cmsg{kind: cmsgScanADone, from: pe.id})
+		return
+	}
+	// failed reports whether this PE crashed under the fragment; the scan
+	// then stops doing real work and synthesizes its completion report.
+	failed := func() bool { return s.faults != nil && s.faults.failedSince(pe.id, start) }
 	s.recvCtlCPU(p, pe.id)
 	c := &s.cfg
 	ct := &s.ct
@@ -124,6 +181,9 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 		// one result packet per filled buffer.
 		var pageCursor, buf int64
 		for remaining := match; remaining > 0; {
+			if failed() {
+				break
+			}
 			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-500_000, pageCursor)
 			if !pe.disks.Read(p, dataDiskFor(pe, pageCursor), pg, true) {
 				pe.computeT(p, ct.io)
@@ -141,7 +201,7 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 				s.sendResult(p, pe, f, tpp)
 			}
 		}
-		if buf > 0 {
+		if buf > 0 && !failed() {
 			s.sendResult(p, pe, f, buf)
 		}
 	} else {
@@ -154,6 +214,9 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 		}
 		var buf int64
 		for i := int64(0); i < match; i++ {
+			if failed() {
+				break
+			}
 			pe.computeT(p, ct.scanDescent) // B+-tree descent, resident
 			page := (i*2654435761 + int64(f.qid)) % fragPages
 			pg := pageID(f.relSpace*1_000_000-int64(f.fragIdx)*100_000-700_000, page)
@@ -166,11 +229,15 @@ func (s *System) runScanFragment(p *sim.Proc, f scanFragment, pe *PE) {
 				s.sendResult(p, pe, f, tpp)
 			}
 		}
-		if buf > 0 {
+		if buf > 0 && !failed() {
 			s.sendResult(p, pe, f, buf)
 		}
 	}
 
+	if failed() {
+		f.mail.Put(cmsg{kind: cmsgScanADone, from: pe.id})
+		return
+	}
 	s.sendCtl(p, pe.id, f.coordPE, func() {
 		f.mail.Put(cmsg{kind: cmsgScanADone, from: pe.id})
 	})

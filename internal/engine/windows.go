@@ -21,6 +21,13 @@ type Window struct {
 	CPUUtil  float64 `json:"cpu_util"`
 	DiskUtil float64 `json:"disk_util"`
 	MemUtil  float64 `json:"mem_util"`
+
+	// Fault-injection series, populated only when Config.Faults was
+	// non-empty (omitted otherwise so fault-free serialization is
+	// unchanged): attempts aborted by injected failures inside the window,
+	// and the window's availability Joins/(Joins+Aborts) (1 when idle).
+	Aborts       int     `json:"aborts,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
 }
 
 // windowState drives windowed metric collection: a boundary event fires
@@ -78,7 +85,7 @@ func (w *windowState) close(end sim.Time) {
 		mem += pe.buf.MeanUtilization(w.start, w.mem0[i])
 	}
 	n := float64(len(s.pes))
-	w.out = append(w.out, Window{
+	win := Window{
 		StartMS:  (w.start - s.measureFrom).Milliseconds(),
 		EndMS:    (end - s.measureFrom).Milliseconds(),
 		Joins:    w.rt.N(),
@@ -88,7 +95,13 @@ func (w *windowState) close(end sim.Time) {
 		CPUUtil:  cpu / n,
 		DiskUtil: dsk / n,
 		MemUtil:  mem / n,
-	})
+	}
+	if s.faults != nil {
+		win.Aborts = s.faults.winAborts
+		s.faults.winAborts = 0
+		win.Availability = availability(int64(win.Joins), int64(win.Aborts))
+	}
+	w.out = append(w.out, win)
 	w.rt.Reset()
 	w.start = end
 	w.snapshot()

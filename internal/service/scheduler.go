@@ -21,8 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dynlb"
 )
@@ -181,16 +183,23 @@ type Scheduler struct {
 	capacity int
 	cache    *Cache
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*Job
-	order   []*Job // submission order, for listings
-	ring    []*Job // jobs with unclaimed slots, claimed round-robin
-	rr      int
-	active  int // non-terminal jobs admitted against capacity
-	nextID  int
-	stopped bool
-	wg      sync.WaitGroup
+	// runSlot executes one claimed simulation slot; the default delegates
+	// to the plan. Tests swap it to inject failures (panics, errors) that
+	// no wire request can produce.
+	runSlot func(j *Job, i int) error
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	order    []*Job // submission order, for listings
+	ring     []*Job // jobs with unclaimed slots, claimed round-robin
+	rr       int
+	active   int // non-terminal jobs admitted against capacity
+	nextID   int
+	stopped  bool
+	slotTime time.Duration // total wall time of completed slots (Retry-After hint)
+	slots    int64         // completed slots backing slotTime
+	wg       sync.WaitGroup
 }
 
 // New starts a scheduler with the given worker-pool size (<= 0 means
@@ -209,6 +218,7 @@ func New(workers, capacity, cacheSize int) *Scheduler {
 		cache:    NewCache(cacheSize),
 		jobs:     make(map[string]*Job),
 	}
+	s.runSlot = func(j *Job, i int) error { return j.plan.RunJob(i) }
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -412,7 +422,8 @@ func (s *Scheduler) claim() (*Job, int, bool) {
 }
 
 // worker is one goroutine of the shared pool: claim a slot, simulate it,
-// fold the completion into its job.
+// fold the completion into its job. Slot wall time feeds the Retry-After
+// estimate; it is advisory only and never influences rows.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
@@ -420,9 +431,61 @@ func (s *Scheduler) worker() {
 		if !ok {
 			return
 		}
-		err := j.plan.RunJob(i)
+		start := time.Now()
+		err := s.safeRun(j, i)
+		s.noteSlotTime(time.Since(start))
 		s.slotDone(j, i, err)
 	}
+}
+
+// safeRun executes one slot, converting a panic inside the simulation into
+// a job-level error: one poisoned experiment must fail visibly through its
+// own status (and the rows endpoints' error events) without taking the
+// shared pool — and every other job on it — down with the daemon.
+func (s *Scheduler) safeRun(j *Job, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("service: simulation slot %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return s.runSlot(j, i)
+}
+
+// noteSlotTime folds one slot's wall time into the running mean.
+func (s *Scheduler) noteSlotTime(d time.Duration) {
+	s.mu.Lock()
+	s.slotTime += d
+	s.slots++
+	s.mu.Unlock()
+}
+
+// RetryAfter estimates, in whole seconds, how long a client rejected with
+// ErrBusy should wait before resubmitting: the backlog of unclaimed
+// simulation slots across the active jobs, costed at the observed mean
+// slot wall time and divided across the pool. Before any slot has
+// completed there is no observation and the hint falls back to 1 s; the
+// result is clamped to [1, 60] so a pathological backlog still yields a
+// header a client will honor.
+func (s *Scheduler) RetryAfter() int {
+	s.mu.Lock()
+	backlog := 0
+	for _, j := range s.ring {
+		backlog += j.total - j.next
+	}
+	slotTime, slots, workers := s.slotTime, s.slots, s.workers
+	s.mu.Unlock()
+	if slots == 0 || backlog == 0 {
+		return 1
+	}
+	mean := slotTime / time.Duration(slots)
+	wait := int((mean*time.Duration(backlog)/time.Duration(workers) + time.Second - 1) / time.Second)
+	if wait < 1 {
+		return 1
+	}
+	if wait > 60 {
+		return 60
+	}
+	return wait
 }
 
 // slotDone folds one finished simulation into its job: Complete under the

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -322,6 +323,86 @@ func TestCacheEviction(t *testing.T) {
 	c0.Put("a", nil)
 	if _, ok := c0.Get("a"); ok {
 		t.Error("zero-size cache stored an entry")
+	}
+}
+
+// TestWorkerPanicFailsJobOnly: a panic inside one job's simulation slot is
+// recovered by the worker — the job turns failed with the panic visible in
+// its error state, while the pool keeps serving other jobs instead of
+// crashing the daemon.
+func TestWorkerPanicFailsJobOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := New(1, 4, 0)
+	defer s.Close()
+	// No wire request can make a plan panic, so inject one through the slot
+	// executor: the job named "boom" poisons every slot it is handed.
+	s.runSlot = func(j *Job, i int) error {
+		if j.label == "boom" {
+			panic("injected simulation panic")
+		}
+		return j.plan.RunJob(i)
+	}
+
+	boom, err := s.Submit(tinyReq("boom", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, boom)
+	st := boom.Status()
+	if st.State != string(JobFailed) {
+		t.Fatalf("panicking job in state %q, want failed: %+v", st.State, st)
+	}
+	if !strings.Contains(st.Error, "panicked") || !strings.Contains(st.Error, "injected simulation panic") {
+		t.Errorf("error state %q does not surface the panic", st.Error)
+	}
+
+	// The worker survived: a healthy job submitted afterwards completes.
+	ok, err := s.Submit(tinyReq("ok", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ok)
+	if st := ok.Status(); st.State != string(JobDone) || st.Rows != st.RowsTotal {
+		t.Errorf("job after panic not cleanly done: %+v", st)
+	}
+}
+
+// TestRetryAfter: the 429 hint scales with the unclaimed backlog and the
+// observed mean slot time, falls back to 1 s before any observation, and
+// clamps so a pathological backlog still yields an honorable header.
+func TestRetryAfter(t *testing.T) {
+	s := idleScheduler(4, 0)
+	if got := s.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter with no backlog = %d, want 1", got)
+	}
+	// Two 4-slot jobs queued, nothing claimed: backlog 8 on 1 worker.
+	for i, name := range []string{"a", "b"} {
+		if _, err := s.Submit(tinyReq(name, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter before any observation = %d, want 1", got)
+	}
+	s.noteSlotTime(2 * time.Second)
+	if got := s.RetryAfter(); got != 16 {
+		t.Errorf("RetryAfter(backlog 8, mean 2s, 1 worker) = %d, want 16", got)
+	}
+	// Sub-second drains round up to the minimum of 1.
+	s2 := idleScheduler(4, 0)
+	if _, err := s2.Submit(tinyReq("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s2.noteSlotTime(10 * time.Millisecond)
+	if got := s2.RetryAfter(); got != 1 {
+		t.Errorf("RetryAfter(tiny mean) = %d, want 1", got)
+	}
+	// A huge mean clamps at the 60 s ceiling.
+	s2.noteSlotTime(10 * time.Hour)
+	if got := s2.RetryAfter(); got != 60 {
+		t.Errorf("RetryAfter(huge mean) = %d, want 60", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"dynlb"
 )
@@ -70,7 +71,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.sched.Submit(&req)
 	switch {
 	case errors.Is(err, ErrBusy):
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks the pool's actual drain rate (backlog x observed
+		// mean slot time) instead of a fixed second, so clients back off
+		// proportionally to how overloaded the scheduler really is.
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):

@@ -146,6 +146,7 @@ type ExperimentRequest struct {
 	Confidence float64  `json:"confidence,omitempty"` // WithConfidence; 0 means DefaultConfidence
 	Compare    []string `json:"compare,omitempty"`    // [baseline, challenger] strategy names (WithCompare)
 	Profile    string   `json:"profile,omitempty"`    // load-profile spec (ParseProfile / WithProfile)
+	Faults     string   `json:"faults,omitempty"`     // fault-plan spec (ParseFaults / WithFaults)
 	Window     string   `json:"window,omitempty"`     // metrics window width, e.g. "1s" (WithMetricsWindow)
 	Runs       bool     `json:"runs,omitempty"`       // WithRuns
 	Workers    int      `json:"workers,omitempty"`    // WithWorkers hint; never changes rows
@@ -336,6 +337,13 @@ func (r *ExperimentRequest) Experiment() (*Experiment, error) {
 			return nil, err
 		}
 		opts = append(opts, WithProfile(p))
+	}
+	if r.Faults != "" {
+		fp, err := ParseFaults(r.Faults)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithFaults(fp))
 	}
 	if r.Window != "" {
 		d, err := time.ParseDuration(r.Window)

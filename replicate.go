@@ -135,6 +135,12 @@ func AggregateResults(runs []Results, conf float64) (Results, Replication) {
 	mean.OLTPDone = meanI(func(r *Results) float64 { return float64(r.OLTPDone) })
 	mean.OLTPAborts = meanI(func(r *Results) float64 { return float64(r.OLTPAborts) })
 	mean.Deadlocks = meanI(func(r *Results) float64 { return float64(r.Deadlocks) })
+	// Fault-injection metrics (zero in fault-free runs, so averaging is
+	// unconditionally safe); the spec string is a per-config constant already
+	// carried over from runs[0].
+	mean.Aborts = meanI(func(r *Results) float64 { return float64(r.Aborts) })
+	mean.Retries = meanI(func(r *Results) float64 { return float64(r.Retries) })
+	mean.Availability = meanF(func(r *Results) float64 { return r.Availability })
 
 	// Windowed metrics aggregate element-wise: replicates of one
 	// configuration share the window layout (same width, same horizon), so
@@ -149,7 +155,7 @@ func AggregateResults(runs []Results, conf float64) (Results, Replication) {
 		wins := make([]Window, len(w0))
 		for k := range wins {
 			wk := Window{StartMS: w0[k].StartMS, EndMS: w0[k].EndMS}
-			var joins, rtm, rtp, tps, cpu, dsk, mem float64
+			var joins, rtm, rtp, tps, cpu, dsk, mem, abr, avail float64
 			for i := range runs {
 				w := runs[i].Windows[k]
 				joins += float64(w.Joins)
@@ -159,11 +165,17 @@ func AggregateResults(runs []Results, conf float64) (Results, Replication) {
 				cpu += w.CPUUtil
 				dsk += w.DiskUtil
 				mem += w.MemUtil
+				abr += float64(w.Aborts)
+				avail += w.Availability
 			}
 			n := float64(len(runs))
 			wk.Joins = int(math.Round(joins / n))
 			wk.RTMeanMS, wk.RTP95MS, wk.JoinTPS = rtm/n, rtp/n, tps/n
 			wk.CPUUtil, wk.DiskUtil, wk.MemUtil = cpu/n, dsk/n, mem/n
+			// Fault series (all-zero in fault-free runs, so the window stays
+			// zero-valued and serialization is unchanged).
+			wk.Aborts = int(math.Round(abr / n))
+			wk.Availability = avail / n
 			wins[k] = wk
 		}
 		mean.Windows = wins

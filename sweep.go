@@ -77,6 +77,28 @@ func ProfileAxis(name string, profiles ...LoadProfile) Axis {
 	return ax
 }
 
+// FaultAxis builds an axis over fault plans, making failure scenarios a
+// sweep dimension like any other: value i applies plans[i] to the point's
+// Config.Faults, contributes X = i as the coordinate when the axis is
+// first, and the plan's spec string ("crash(pe=3,at=20s,down=10s)", or
+// "none" for the empty plan) as its series label otherwise.
+func FaultAxis(name string, plans ...FaultPlan) Axis {
+	ax := Axis{Name: name}
+	for i, fp := range plans {
+		fp := fp
+		label := fp.String()
+		if label == "" {
+			label = "none"
+		}
+		ax.Values = append(ax.Values, AxisValue{
+			Label: name + "=" + label,
+			X:     float64(i),
+			Set:   func(c *Config) { c.Faults = fp },
+		})
+	}
+	return ax
+}
+
 // IntAxis is NumAxis over integer values.
 func IntAxis(name string, set func(*Config, int), values ...int) Axis {
 	ax := Axis{Name: name}
