@@ -7,6 +7,12 @@
 //
 //	dynlbd -addr :8080 -workers 8 -queue 16 -cache 128
 //
+// With -dist the daemon fans simulations out to a dynlbworker fleet
+// instead of running them in-process — same rows, same cache keys, because
+// jobs are pure functions of their plan inputs wherever they run:
+//
+//	dynlbd -addr :8080 -dist http://10.0.0.7:9090,http://10.0.0.8:9090
+//
 // Submit, stream, inspect, cancel:
 //
 //	curl -d '{"figure": "1c", "scale": "quick"}' localhost:8080/v1/experiments
@@ -31,9 +37,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"dynlb/internal/dist"
 	"dynlb/internal/service"
 )
 
@@ -48,6 +56,7 @@ func run() int {
 		queue   = flag.Int("queue", 16, "max concurrently admitted experiment jobs before 429 backpressure")
 		cache   = flag.Int("cache", 128, "result cache capacity in completed experiments (0 disables)")
 		grace   = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight HTTP requests")
+		distW   = flag.String("dist", "", "comma-separated dynlbworker URLs to fan simulations out to (empty = run in-process)")
 	)
 	flag.Parse()
 	if *cache < 0 {
@@ -60,6 +69,20 @@ func run() int {
 	}
 
 	sched := service.New(*workers, *queue, *cache)
+	if *distW != "" {
+		// Distributed backend: claimed slots execute on the worker fleet
+		// (least-loaded live worker, failover, local fallback) instead of
+		// in-process. Rows are bit-identical either way — jobs are pure
+		// functions of their plan inputs — so the cache, SSE streams and
+		// fairness discipline are untouched.
+		pool := dist.NewPool(dist.Options{
+			Workers: strings.Split(*distW, ","),
+			Logf:    log.Printf,
+		})
+		defer pool.Close()
+		sched.UseRemote(pool.RunPlanJob)
+		log.Printf("dynlbd fanning simulations out to %d workers: %s", pool.NumWorkers(), *distW)
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -26,19 +26,35 @@
 //	experiments -fig 6 -progress            # stream rows as they complete
 //	experiments -fig 6 -cpuprofile cpu.out  # profile the simulator hot path
 //	experiments -fig 8 -reps 5 -compare psu-opt+RANDOM,OPT-IO-CPU
+//
+// With -dist the sweep executes on a worker fleet instead of in-process:
+// a coordinator shards the plan's slots across the named dynlbworker
+// instances, re-dispatches on worker death or timeout, degrades to local
+// execution when the fleet is unreachable, and merges completions in the
+// library's deterministic order — the rows (and any -out file) are
+// byte-identical to a local run. -placement records where every slot ran:
+//
+//	dynlbworker -addr :9090 & dynlbworker -addr :9091 &
+//	experiments -fig 1c -scale quick -dist http://localhost:9090,http://localhost:9091 \
+//	    -out fig1c.csv -placement placement.csv
 package main
 
 import (
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"dynlb"
+	"dynlb/internal/dist"
 	"dynlb/internal/prof"
 )
 
@@ -86,6 +102,8 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "max concurrent simulation points (1 = sequential, <=0 = NumCPU)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
+		distW    = fs.String("dist", "", "comma-separated dynlbworker URLs: run the sweep on a coordinator + worker fleet (rows stay bit-identical)")
+		placeF   = fs.String("placement", "", "with -dist, write per-slot placement metadata to this file (.json = JSON, otherwise CSV)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -213,6 +231,20 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 		}
 		opts = append(opts, dynlb.WithCompare(sa, sb))
 	}
+	var coord *dist.Coordinator
+	if *distW != "" {
+		coord = dist.New(dist.Options{
+			Workers: strings.Split(*distW, ","),
+			Logf: func(f string, a ...any) {
+				fmt.Fprintf(stderr, f+"\n", a...)
+			},
+		})
+		defer coord.Close()
+		opts = append(opts, dynlb.WithDistributed(coord))
+	} else if *placeF != "" {
+		fmt.Fprintln(stderr, "-placement needs -dist")
+		return 2
+	}
 	if *progress {
 		opts = append(opts, dynlb.WithProgress(func(r dynlb.Row) {
 			fmt.Fprintf(stderr, "fig %s  %-38s %s=%-8g rt=%9.1fms\n",
@@ -231,6 +263,7 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 	}
 
 	var all []dynlb.Row
+	var placements []figurePlacement
 	for _, f := range figs {
 		start := time.Now()
 		rows, err := dynlb.NewExperiment(dynlb.Figure(f), opts...).Run(ctx)
@@ -241,6 +274,11 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 		fmt.Fprint(stdout, dynlb.FormatRows(rows))
 		fmt.Fprintf(stdout, "(figure %s: %d rows in %.1fs wall time)\n\n", f, len(rows), time.Since(start).Seconds())
 		all = append(all, rows...)
+		if coord != nil {
+			if rep := coord.Report(); rep != nil {
+				placements = append(placements, figurePlacement{Figure: f, Report: rep})
+			}
+		}
 	}
 
 	if *outF != "" {
@@ -254,11 +292,64 @@ func run(args []string, stdoutW, stderr io.Writer) (code int) {
 		}
 		fmt.Fprintf(stdout, "wrote %d rows to %s (%s)\n", len(all), *outF, *format)
 	}
+	if *placeF != "" {
+		if err := writePlacement(*placeF, placements); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote placement metadata to %s\n", *placeF)
+	}
 	if stdout.err != nil {
 		fmt.Fprintln(stderr, "stdout:", stdout.err)
 		return 1
 	}
 	return 0
+}
+
+// figurePlacement pairs one figure's id with its coordinator report for
+// the -placement file.
+type figurePlacement struct {
+	Figure string `json:"figure"`
+	*dist.Report
+}
+
+// writePlacement serializes the per-figure placement reports: JSON for a
+// .json path, otherwise a flat CSV with one row per (figure, slot).
+func writePlacement(path string, placements []figurePlacement) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if strings.HasSuffix(path, ".json") {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(placements)
+	}
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"figure", "slot", "worker", "attempts", "ms"}); err != nil {
+		return err
+	}
+	for _, p := range placements {
+		for _, s := range p.Slots {
+			rec := []string{
+				p.Figure,
+				strconv.Itoa(s.Slot),
+				s.Worker,
+				strconv.Itoa(s.Attempts),
+				fmt.Sprintf("%.1f", s.MS),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func writeRows(path string, rows []dynlb.Row, write func(io.Writer, []dynlb.Row) error) (err error) {

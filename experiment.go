@@ -91,6 +91,7 @@ type expOptions struct {
 	windowSet  bool
 	faults     FaultPlan
 	faultsSet  bool
+	dist       Executor
 }
 
 // Option configures an Experiment.
@@ -193,6 +194,31 @@ func WithMetricsWindow(width Duration) Option {
 	return func(e *Experiment) { e.o.window = width; e.o.windowSet = true }
 }
 
+// Executor is an external execution backend for a compiled Plan; the
+// distributed coordinator in internal/dist is the canonical implementation.
+// Run calls ExecutePlan after it has emitted the plan's dependency-free
+// Start rows; the executor must then run every physical job — locally,
+// remotely, in any order and at any parallelism — feed completions back
+// through SetJobResult/Complete (serialized, per the Plan contract), and
+// forward each batch of newly emittable rows to deliver in the order
+// Complete returned them. Because every job is a pure function of its
+// (Config, Strategy) pair, any executor that simulates the jobs faithfully
+// yields rows bit-identical to the in-process pool.
+type Executor interface {
+	ExecutePlan(ctx context.Context, p *Plan, deliver func([]Row)) error
+}
+
+// WithDistributed runs the experiment's physical jobs through an external
+// executor — typically a dist.Coordinator sharding slot ranges across
+// remote workers — instead of the in-process worker pool. Row identity is
+// unaffected: rows arrive in the same deterministic order with the same
+// bytes at any worker count or placement. WithWorkers only shapes the
+// executor's local fallback (if it has one); WithProgress streams rows
+// exactly as in local execution.
+func WithDistributed(x Executor) Option {
+	return func(e *Experiment) { e.o.dist = x }
+}
+
 // WithProgress streams every completed row to fn. Rows arrive in their
 // final deterministic order (a row is delivered as soon as it and all rows
 // before it are complete), from the goroutine Run was called on, so fn
@@ -238,7 +264,41 @@ func (e *Experiment) Run(ctx context.Context) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.o.dist != nil {
+		return e.executeDist(ctx, p)
+	}
 	return e.execute(ctx, p)
+}
+
+// executeDist hands the plan's jobs to the WithDistributed executor,
+// keeping Run's own obligations — the cancelled-context gate, the Start
+// rows, progress streaming and full-completion checking — identical to
+// local execution.
+func (e *Experiment) executeDist(ctx context.Context, p *Plan) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Row, 0, p.NumRows())
+	deliver := func(rows []Row) {
+		for _, r := range rows {
+			out = append(out, r)
+			if e.o.progress != nil {
+				e.o.progress(r)
+			}
+		}
+	}
+	first, err := p.Start()
+	if err != nil {
+		return nil, err
+	}
+	deliver(first)
+	if err := e.o.dist.ExecutePlan(ctx, p, deliver); err != nil {
+		return nil, err
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("dynlb: distributed executor returned without completing every row (%d of %d emitted)", len(out), p.NumRows())
+	}
+	return out, nil
 }
 
 // Plan validates the experiment and compiles it into its executable
@@ -300,10 +360,35 @@ func (e *Experiment) Plan() (*Plan, error) {
 // simulations whose completions fold into NumRows output rows. Build one
 // with (*Experiment).Plan.
 //
-// RunJob is safe to call concurrently for distinct job indices; Start and
-// Complete mutate the emission state and must be serialized by the caller
-// (one collector goroutine, or one mutex). A Plan is single-use: drive it
-// to completion once and build a fresh one to re-run the experiment.
+// # The slot-hook contract
+//
+// A plan groups its physical jobs into NumSlots logical slots — one per
+// sweep point after replication/comparison expansion — each owning the
+// contiguous job range SlotRange(s). External executors drive a plan
+// through five hooks:
+//
+//   - Job(i) exposes job i's exact simulation inputs: the fully resolved
+//     Config (per-slot splitmix64 replicate seed already applied) and the
+//     Strategy. A job is a pure function of this pair, so any executor —
+//     the in-process pool, internal/service's shared scheduler, or a
+//     remote worker reconstructing the pair from its wire form — obtains
+//     bit-identical Results.
+//   - RunJob(i) simulates job i here and records its Results; concurrent
+//     calls for distinct i are safe. SetJobResult(i, r) records Results
+//     computed elsewhere instead.
+//   - Start() emits the rows with no simulation dependencies; call it once
+//     before the first Complete.
+//   - Complete(i) folds job i's recorded Results into its slot and returns
+//     the rows that became emittable — always a deterministic prefix
+//     extension, however jobs were scheduled or interleaved.
+//   - Done() reports whether every row has been emitted.
+//
+// RunJob is safe to call concurrently for distinct job indices, and
+// SetJobResult for distinct indices not under a concurrent Complete of the
+// same slot; Start and Complete mutate the emission state and must be
+// serialized by the caller (one collector goroutine, or one mutex). A Plan
+// is single-use: drive it to completion once and build a fresh one to
+// re-run the experiment.
 type Plan struct {
 	exp      *Experiment
 	jobs     []runJob
@@ -366,6 +451,40 @@ func (p *Plan) Complete(i int) ([]Row, error) {
 
 // Done reports whether every row has been emitted.
 func (p *Plan) Done() bool { return p.nextRow == len(p.rows) }
+
+// NumSlots is the number of logical slots of the plan: sweep points after
+// the replication/comparison stages, each owning a contiguous job range.
+func (p *Plan) NumSlots() int { return len(p.slots) }
+
+// SlotRange returns the physical-job range [first, first+n) of slot s.
+// Slot ranges partition [0, NumJobs) in order.
+func (p *Plan) SlotRange(s int) (first, n int) {
+	sl := p.slots[s]
+	return sl.first, sl.n
+}
+
+// SlotOf returns the slot physical job i belongs to.
+func (p *Plan) SlotOf(i int) int { return p.jobSlot[i] }
+
+// Job returns physical job i's exact simulation inputs: the fully resolved
+// configuration — seed included, with the per-slot replicate-seed
+// discipline already applied — and the strategy. See the slot-hook
+// contract on Plan.
+func (p *Plan) Job(i int) (Config, Strategy) {
+	j := p.jobs[i]
+	return j.cfg, j.st
+}
+
+// SetJobResult records the Results of physical job i computed by an
+// external executor, exactly as RunJob would have; call Complete(i)
+// afterwards to fold the completion into rows. Concurrent calls for
+// distinct indices are safe, but a job's SetJobResult must
+// happen-before its Complete.
+func (p *Plan) SetJobResult(i int, r Results) { p.results[i] = r }
+
+// JobResult returns the recorded Results of physical job i — the zero
+// value until RunJob or SetJobResult ran for it.
+func (p *Plan) JobResult(i int) Results { return p.results[i] }
 
 // emit builds every row whose dependencies are complete, in row order, so
 // the stream of emitted rows is a deterministic prefix of the final row

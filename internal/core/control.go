@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -137,6 +138,11 @@ func (c *ControlNode) Release(d Decision) {
 //	psu-noIO+RANDOM  psu-noIO+LUC  psu-noIO+LUM
 //	pmu-cpu+RANDOM   pmu-cpu+LUC   pmu-cpu+LUM
 //	MIN-IO           MIN-IO-SUOPT  OPT-IO-CPU
+//
+// Fixed static degrees parse as "p=N" degree policies (e.g. "p=7+RANDOM"),
+// so every built-in Strategy's Name() round-trips through ByName — the
+// property remote executors rely on to reconstruct a strategy from its
+// wire name.
 func ByName(name string) (Strategy, error) {
 	switch name {
 	case "MIN-IO":
@@ -159,7 +165,15 @@ func ByName(name string) (Strategy, error) {
 	case "pmu-cpu":
 		deg = DynamicCPU{}
 	default:
-		return nil, fmt.Errorf("core: unknown degree policy %q", parts[0])
+		num, ok := strings.CutPrefix(parts[0], "p=")
+		if !ok {
+			return nil, fmt.Errorf("core: unknown degree policy %q", parts[0])
+		}
+		p, err := strconv.Atoi(num)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("core: bad fixed degree %q (want p=N with N >= 1)", parts[0])
+		}
+		deg = StaticDegree{P: p}
 	}
 	var sel SelectionPolicy
 	switch parts[1] {

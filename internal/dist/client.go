@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// client is the coordinator-side handle of one worker.
+type client struct {
+	base     string // normalized base URL, no trailing slash
+	http     *http.Client
+	inflight atomic.Int64 // dispatched ranges not yet resolved
+}
+
+func newClient(base string, hc *http.Client) *client {
+	return &client{base: strings.TrimRight(base, "/"), http: hc}
+}
+
+// run posts a batch of jobs and returns the per-job results keyed by job
+// ID. Any transport, HTTP-status or decode failure is returned as an
+// error; per-job simulation errors ride inside the map as wireResult.Err.
+func (c *client) run(ctx context.Context, jobs []wireJob) (map[int]wireResult, error) {
+	body, err := json.Marshal(runRequest{Jobs: jobs})
+	if err != nil {
+		return nil, fmt.Errorf("dist: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("dist: worker %s: %s: %s", c.base, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: decode response: %w", c.base, err)
+	}
+	byID := make(map[int]wireResult, len(out.Results))
+	for _, r := range out.Results {
+		byID[r.ID] = r
+	}
+	for _, j := range jobs {
+		if _, ok := byID[j.ID]; !ok {
+			return nil, fmt.Errorf("dist: worker %s: job %d missing from response", c.base, j.ID)
+		}
+	}
+	return byID, nil
+}
+
+// health probes GET /healthz; nil means the worker is up.
+func (c *client) health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s: %s", c.base, resp.Status)
+	}
+	return nil
+}

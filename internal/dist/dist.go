@@ -1,0 +1,126 @@
+// Package dist shards the execution of a compiled dynlb experiment Plan
+// across a fleet of remote workers over plain HTTP/JSON.
+//
+// The topology is a single coordinator plus N stateless workers (cmd/
+// dynlbworker). The coordinator plans an experiment once, cuts the plan's
+// slot ranges into contiguous chunks, and feeds them through a shared
+// range queue that the per-worker drivers claim from — work-stealing falls
+// out naturally, because a fast worker returns sooner and simply claims
+// the next range. Each dispatched job travels as its exact simulation
+// inputs (the fully resolved Config plus the strategy's wire name), the
+// worker simulates it with the same engine the library uses, and the
+// Results travel back in a lossless JSON envelope. Completions are merged
+// through the Plan's Start/Complete hooks, so rows assemble in the
+// library's deterministic order and the merged output is bit-identical to
+// local execution at any worker count or placement — the per-slot
+// splitmix64 seed discipline makes every job a pure function of its wire
+// form.
+//
+// Failure tolerance: a worker death or timeout re-dispatches the range to
+// a live worker after a capped exponential backoff (internal/retry), dead
+// workers are re-probed in the background and rejoin when healthy,
+// duplicate completions are idempotently dropped (first result wins, and
+// byte-equality is asserted when both copies arrive), and when no workers
+// are reachable — or a range exhausts its remote attempts — the
+// coordinator degrades gracefully to local execution, so a sweep always
+// terminates with the same rows.
+//
+// The same fleet also backs the dynlbd service: Pool.RunPlanJob is a
+// per-job remote executor with local failover that internal/service's
+// scheduler routes claimed slots through (Scheduler.UseRemote), fanning a
+// daemon's jobs out to the workers while keeping its round-robin fairness
+// and result cache intact.
+package dist
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"dynlb/internal/retry"
+)
+
+// Options configures a worker fleet client (Pool) and the coordinator
+// built on top of it. The zero value of every field selects a sensible
+// default; Workers is the only field without one.
+type Options struct {
+	// Workers lists the base URLs of the worker fleet, e.g.
+	// "http://10.0.0.7:9090". Workers that are down at start are probed in
+	// the background and join the fleet when they become healthy. An empty
+	// list (or an all-dead fleet) degrades to local execution unless
+	// DisableLocal is set.
+	Workers []string
+
+	// Client is the HTTP client used for worker requests. Defaults to a
+	// dedicated client without a global timeout (per-request contexts
+	// bound every call).
+	Client *http.Client
+
+	// ChunkJobs caps the physical jobs per dispatched range (>= 1). Ranges
+	// are always slot-aligned — a slot's jobs never split across workers —
+	// and one slot with more jobs than the cap still travels whole.
+	// Default 4.
+	ChunkJobs int
+
+	// RequestTimeout is how long the coordinator waits for a dispatched
+	// range before abandoning it: the range re-queues for another worker
+	// while the original request keeps running in the background, so a
+	// slow-but-alive worker's result is not wasted — whichever copy lands
+	// first wins and the loser is dropped as a duplicate. Default 2m.
+	RequestTimeout time.Duration
+
+	// ProbeTimeout bounds a single health probe. Default 2s.
+	ProbeTimeout time.Duration
+
+	// MaxAttempts is the number of remote dispatch attempts per range
+	// before it falls back to local execution (which also surfaces any
+	// deterministic job error instead of retrying it forever). Default 3.
+	MaxAttempts int
+
+	// Backoff delays a range's re-dispatch after a failed attempt.
+	// Default 200ms doubling to 5s.
+	Backoff retry.Backoff
+
+	// LocalWorkers is the parallelism of the coordinator's local fallback
+	// executor. Default runtime.NumCPU().
+	LocalWorkers int
+
+	// DisableLocal makes an unreachable fleet (or an exhausted range) a
+	// hard error instead of degrading to local execution. Intended for
+	// tests and benchmarks that must prove the remote path ran.
+	DisableLocal bool
+
+	// Logf, when set, receives human-oriented progress notes (worker
+	// deaths, re-dispatches, fallback transitions). Never required for
+	// correctness.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults returns o with every unset field resolved.
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.ChunkJobs < 1 {
+		o.ChunkJobs = 4
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff == (retry.Backoff{}) {
+		o.Backoff = retry.Backoff{Base: 200 * time.Millisecond, Cap: 5 * time.Second}
+	}
+	if o.LocalWorkers < 1 {
+		o.LocalWorkers = runtime.NumCPU()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}

@@ -1,0 +1,39 @@
+package dist
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the per-slot placement table as CSV: one row per slot
+// with the worker it ran on, the dispatch attempts and the completion
+// time, followed by no summary rows (the JSON form carries the totals).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"slot", "worker", "attempts", "ms"}); err != nil {
+		return err
+	}
+	for _, s := range r.Slots {
+		rec := []string{
+			strconv.Itoa(s.Slot),
+			s.Worker,
+			strconv.Itoa(s.Attempts),
+			fmt.Sprintf("%.1f", s.MS),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

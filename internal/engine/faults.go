@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"time"
+
 	"dynlb/internal/config"
+	"dynlb/internal/retry"
 	"dynlb/internal/sim"
 )
 
@@ -168,15 +171,17 @@ func (fs *faultState) noteRetry() {
 	}
 }
 
+// faultRetry is the engine's retry policy: 100 ms doubling up to 3.2 s,
+// the schedule the failover goldens are pinned to (retry.TestDelayMatchesEngineTable).
+var faultRetry = retry.Backoff{Base: 100 * time.Millisecond, Cap: 3200 * time.Millisecond}
+
 // retryBackoff returns the capped exponential backoff before retry n
-// (0-based): 100 ms doubling up to 3.2 s. Deterministic — no jitter — so
-// the retry stream replays bit-identically and the fault-free rng sequence
-// is never touched.
+// (0-based). Deterministic — no jitter — so the retry stream replays
+// bit-identically and the fault-free rng sequence is never touched. Both
+// retry delays and sim durations are integer nanoseconds, so the
+// conversion is exact.
 func retryBackoff(attempt int) sim.Duration {
-	if attempt > 5 {
-		attempt = 5
-	}
-	return 100 * sim.Millisecond << uint(attempt)
+	return sim.Duration(faultRetry.Delay(attempt))
 }
 
 // availability is completed attempts over all attempts. Both zero (nothing

@@ -1,0 +1,51 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayMatchesEngineTable pins the exact schedule the engine's fault
+// retry path used before the extraction (100 ms << min(n, 5), capped at
+// 3.2 s): the golden failover CSVs depend on these values bit for bit.
+func TestDelayMatchesEngineTable(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 3200 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		3200 * time.Millisecond, // capped from here on
+	}
+	for n, w := range want {
+		if got := b.Delay(n); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	if got := b.Delay(1000); got != 3200*time.Millisecond {
+		t.Errorf("Delay(1000) = %v, want cap", got)
+	}
+}
+
+func TestDelayEdgeCases(t *testing.T) {
+	b := Backoff{Base: 250 * time.Millisecond, Cap: 5 * time.Second}
+	if got := b.Delay(-3); got != b.Base {
+		t.Errorf("negative attempt: got %v, want Base %v", got, b.Base)
+	}
+	// Attempt counts far beyond the doubling range must saturate at Cap,
+	// never overflow into a negative duration.
+	if got := b.Delay(200); got != b.Cap {
+		t.Errorf("Delay(200) = %v, want Cap %v", got, b.Cap)
+	}
+	// Base above Cap degrades to Cap rather than exceeding the bound.
+	odd := Backoff{Base: time.Minute, Cap: time.Second}
+	if got := odd.Delay(0); got != time.Second {
+		t.Errorf("Base>Cap: got %v, want Cap", got)
+	}
+	var zero Backoff
+	if got := zero.Delay(7); got != 0 {
+		t.Errorf("zero policy: got %v, want 0", got)
+	}
+}

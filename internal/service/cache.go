@@ -13,18 +13,50 @@ import (
 // re-running a single simulation. Cached row slices are shared and must be
 // treated as immutable by every reader.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string][]dynlb.Row
-	order   []string // insertion order; evicted oldest-first
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	max       int
+	rowBudget int
+	rows      int // total rows retained across entries
+	entries   map[string][]dynlb.Row
+	order     []string // insertion order; evicted oldest-first
+	hits      int64
+	misses    int64
 }
 
+// defaultRowBudget caps the total rows retained across all entries.
+// Retention is bounded in rows rather than measured bytes — a Row is a
+// flat struct of fixed-size numeric fields plus a few short strings (and,
+// only under WithRuns, a per-replicate Results slice), so row count is a
+// faithful proxy for memory while costing one len() per Put instead of a
+// deep walk of every slice. A million rows is well under a gigabyte in the
+// worst (WithRuns) case and a few tens of megabytes typically.
+const defaultRowBudget = 1 << 20
+
 // NewCache returns a cache holding at most max completed experiments
-// (max <= 0 disables caching).
+// (max <= 0 disables caching) and at most defaultRowBudget total rows;
+// SetRowBudget adjusts the latter.
 func NewCache(max int) *Cache {
-	return &Cache{max: max, entries: make(map[string][]dynlb.Row)}
+	return &Cache{max: max, rowBudget: defaultRowBudget, entries: make(map[string][]dynlb.Row)}
+}
+
+// SetRowBudget bounds the total rows retained across entries (<= 0
+// restores the default). Existing entries are evicted oldest-first until
+// the new budget holds.
+func (c *Cache) SetRowBudget(rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rows <= 0 {
+		rows = defaultRowBudget
+	}
+	c.rowBudget = rows
+	c.evictLocked(0)
+}
+
+// RowsRetained reports the total rows currently retained.
+func (c *Cache) RowsRetained() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rows
 }
 
 // Get returns the cached rows for key, if present.
@@ -52,13 +84,34 @@ func (c *Cache) Put(key string, rows []dynlb.Row) {
 	if _, dup := c.entries[key]; dup {
 		return
 	}
-	for len(c.entries) >= c.max && len(c.order) > 0 {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+	if len(rows) > c.rowBudget {
+		// One oversized experiment would evict everything else and still
+		// not fit; skip it rather than thrash the cache.
+		return
 	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		c.dropOldestLocked()
+	}
+	c.evictLocked(len(rows))
 	c.entries[key] = rows
 	c.order = append(c.order, key)
+	c.rows += len(rows)
+}
+
+// evictLocked drops oldest entries until incoming more rows fit in the
+// row budget; callers hold c.mu.
+func (c *Cache) evictLocked(incoming int) {
+	for c.rows+incoming > c.rowBudget && len(c.order) > 0 {
+		c.dropOldestLocked()
+	}
+}
+
+// dropOldestLocked removes the oldest entry; callers hold c.mu.
+func (c *Cache) dropOldestLocked() {
+	oldest := c.order[0]
+	c.order = c.order[1:]
+	c.rows -= len(c.entries[oldest])
+	delete(c.entries, oldest)
 }
 
 // Stats reports entry count and hit/miss totals (for /healthz and tests).

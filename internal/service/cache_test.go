@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"dynlb"
+)
+
+func rowsN(n int) []dynlb.Row {
+	rows := make([]dynlb.Row, n)
+	for i := range rows {
+		rows[i].X = float64(i)
+	}
+	return rows
+}
+
+// TestCacheFIFOEviction pins the eviction discipline: insertion order,
+// oldest first, untouched by Get (no LRU promotion).
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(3)
+	c.Put("a", rowsN(1))
+	c.Put("b", rowsN(2))
+	c.Put("c", rowsN(3))
+	// Touch "a" heavily; FIFO must still evict it first.
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get("a"); !ok {
+			t.Fatal("a missing before eviction")
+		}
+	}
+	c.Put("d", rowsN(4))
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction; eviction is not insertion-ordered")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted out of order", k)
+		}
+	}
+	c.Put("e", rowsN(5))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; want second-oldest evicted next")
+	}
+	if n, _, _ := c.Stats(); n != 3 {
+		t.Errorf("entries = %d, want 3", n)
+	}
+}
+
+// TestCacheDuplicatePut: re-putting an existing key keeps the first value
+// and does not disturb the eviction order or the row accounting.
+func TestCacheDuplicatePut(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", rowsN(1))
+	c.Put("a", rowsN(9))
+	got, ok := c.Get("a")
+	if !ok || len(got) != 1 {
+		t.Fatalf("duplicate Put replaced entry: len %d, want 1", len(got))
+	}
+	if c.RowsRetained() != 1 {
+		t.Errorf("RowsRetained = %d, want 1", c.RowsRetained())
+	}
+}
+
+// TestCacheRowBudget: the cache bounds total retained rows, evicting
+// oldest entries to fit new ones and refusing entries larger than the
+// whole budget.
+func TestCacheRowBudget(t *testing.T) {
+	c := NewCache(100)
+	c.SetRowBudget(10)
+	c.Put("a", rowsN(4))
+	c.Put("b", rowsN(4))
+	if c.RowsRetained() != 8 {
+		t.Fatalf("RowsRetained = %d, want 8", c.RowsRetained())
+	}
+	c.Put("c", rowsN(4)) // 12 > 10: evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived the row budget")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b evicted too eagerly")
+	}
+	if c.RowsRetained() != 8 {
+		t.Errorf("RowsRetained = %d, want 8 after eviction", c.RowsRetained())
+	}
+	// An entry larger than the whole budget is skipped, not thrashed in.
+	c.Put("huge", rowsN(11))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("over-budget entry cached")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("rejected oversized Put evicted existing entries")
+	}
+	// Shrinking the budget evicts immediately.
+	c.SetRowBudget(4)
+	if c.RowsRetained() > 4 {
+		t.Errorf("RowsRetained = %d after shrink, want <= 4", c.RowsRetained())
+	}
+}
+
+// decodeReq unmarshals a wire request like the HTTP server does.
+func decodeReq(t *testing.T, body string) *dynlb.ExperimentRequest {
+	t.Helper()
+	var req dynlb.ExperimentRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	return &req
+}
+
+func keyOf(t *testing.T, body string) string {
+	t.Helper()
+	key, err := decodeReq(t, body).CacheKey()
+	if err != nil {
+		t.Fatalf("CacheKey(%s): %v", body, err)
+	}
+	return key
+}
+
+// TestCacheKeyStability pins the canonicalization the cache depends on:
+// requests that run the same simulations must collide, requests that do
+// not must not — in particular around the optional faults field, whose
+// empty form must equal its absent form.
+func TestCacheKeyStability(t *testing.T) {
+	base := `{"figure":"6","scale":"quick"}`
+	same := []string{
+		`{"figure":"6","scale":"quick","faults":""}`,   // empty == absent
+		`{"figure":"6","scale":"quick","workers":7}`,   // parallelism never changes rows
+		`{"figure":"6","scale":"quick","workers":123}`, // any parallelism
+	}
+	for _, body := range same {
+		if keyOf(t, base) != keyOf(t, body) {
+			t.Errorf("key(%s) != key(%s); want identical", body, base)
+		}
+	}
+	diff := []string{
+		`{"figure":"6","scale":"quick","faults":"crash(pe=3,at=2s,down=1s)"}`,
+		`{"figure":"6","scale":"quick","seed":42}`,
+		`{"figure":"6","scale":"quick","reps":3}`,
+		`{"figure":"6"}`, // scale default may differ from explicit quick? pinned below
+	}
+	for _, body := range diff[:3] {
+		if keyOf(t, base) == keyOf(t, body) {
+			t.Errorf("key(%s) == key(%s); want distinct", body, base)
+		}
+	}
+	// A fault plan's key must be stable across submissions of the same
+	// spec string.
+	f := `{"figure":"6","scale":"quick","faults":"crash(pe=3,at=2s,down=1s)"}`
+	if keyOf(t, f) != keyOf(t, f) {
+		t.Error("fault-plan key not stable across encodes")
+	}
+}
+
+// TestCacheKeyScaleDefault documents how the scale default canonicalizes:
+// an absent scale resolves to the same key as its explicit default, so
+// the two submissions share cache entries.
+func TestCacheKeyScaleDefault(t *testing.T) {
+	abs := keyOf(t, `{"figure":"6"}`)
+	var match string
+	for _, s := range []string{"quick", "normal", "full"} {
+		if keyOf(t, fmt.Sprintf(`{"figure":"6","scale":%q}`, s)) == abs {
+			match = s
+			break
+		}
+	}
+	if match == "" {
+		t.Fatal("absent scale resolves to no explicit scale; default not canonicalized")
+	}
+}

@@ -230,6 +230,22 @@ func New(workers, capacity, cacheSize int) *Scheduler {
 // Workers reports the pool size.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// UseRemote swaps the scheduler's slot executor for an external one — the
+// distributed backend: run receives the claimed slot's job context, plan
+// and physical job index, and must leave the job's Results in the plan
+// (dynlb.Plan.SetJobResult) before returning, exactly as Plan.RunJob
+// would. The scheduler keeps everything else — round-robin fairness,
+// cancellation, the result cache — unchanged; rows stay bit-identical
+// because jobs are pure functions of their plan inputs wherever they run.
+// Call UseRemote before the first Submit; distinct slots may be claimed
+// concurrently, so run must be safe for concurrent calls with distinct
+// indices (dist.Pool.RunPlanJob is).
+func (s *Scheduler) UseRemote(run func(ctx context.Context, p *dynlb.Plan, i int) error) {
+	s.mu.Lock()
+	s.runSlot = func(j *Job, i int) error { return run(j.ctx, j.plan, i) }
+	s.mu.Unlock()
+}
+
 // Cache exposes the result cache (for stats endpoints and tests).
 func (s *Scheduler) Cache() *Cache { return s.cache }
 
@@ -448,7 +464,10 @@ func (s *Scheduler) safeRun(j *Job, i int) (err error) {
 			err = fmt.Errorf("service: simulation slot %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
-	return s.runSlot(j, i)
+	s.mu.Lock()
+	run := s.runSlot
+	s.mu.Unlock()
+	return run(j, i)
 }
 
 // noteSlotTime folds one slot's wall time into the running mean.

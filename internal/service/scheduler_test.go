@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -423,5 +424,55 @@ func TestClose(t *testing.T) {
 	}
 	if _, err := s.Submit(tinyReq("b", 2)); !errors.Is(err, ErrClosed) {
 		t.Errorf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestUseRemote: a scheduler with an external slot executor must route
+// every claimed slot through it and still produce rows identical to the
+// default in-process executor — the contract dist.Pool.RunPlanJob plugs
+// into.
+func TestUseRemote(t *testing.T) {
+	want := func() []dynlb.Row {
+		s := New(2, 4, 0)
+		defer s.Close()
+		j, err := s.Submit(tinyReq("remote", 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, j)
+		return j.Rows()
+	}()
+
+	var calls atomic.Int64
+	s := New(2, 4, 0)
+	defer s.Close()
+	s.UseRemote(func(ctx context.Context, p *dynlb.Plan, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		calls.Add(1)
+		// Stand-in for a remote worker: compute the job from its exact
+		// inputs and store the result, exactly like dist.Pool.RunPlanJob.
+		cfg, st := p.Job(i)
+		r, err := dynlb.Run(cfg, st)
+		if err != nil {
+			return err
+		}
+		p.SetJobResult(i, r)
+		return nil
+	})
+	j, err := s.Submit(tinyReq("remote", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	if err := j.Err(); err != nil {
+		t.Fatalf("remote-executed job failed: %v", err)
+	}
+	if got := calls.Load(); got != int64(j.Status().Simulations) {
+		t.Errorf("remote executor ran %d slots, want %d", got, j.Status().Simulations)
+	}
+	if !reflect.DeepEqual(j.Rows(), want) {
+		t.Error("remote-executed rows differ from in-process rows")
 	}
 }
